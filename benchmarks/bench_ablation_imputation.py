@@ -1,0 +1,74 @@
+"""Ablation — downstream effect of the imputation strategy.
+
+DESIGN.md design choice: the paper imputes missing KPI values with a
+denoising autoencoder before anything else.  This bench runs the
+scoring + forecasting pipeline on the same raw network under three
+imputation strategies (DAE, forward fill, per-KPI mean) and reports the
+resulting forecast lift, quantifying how much the imputer matters for
+the end task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _reporting import format_table, report
+from repro.core.evaluation import evaluate_ranking
+from repro.core.features import build_feature_tensor
+from repro.core.forecaster import make_model
+from repro.core.scoring import ScoreConfig, attach_scores
+from repro.imputation import (
+    DAEImputer,
+    DAEImputerConfig,
+    ForwardFillImputer,
+    MeanImputer,
+    filter_sectors,
+)
+
+T_DAYS = (58, 70, 82)
+HORIZON = 5
+WINDOW = 7
+
+
+def _pipeline_lift(raw_dataset, imputer, seed):
+    dataset, __ = filter_sectors(raw_dataset)
+    dataset.kpis = imputer.fit_transform(dataset.kpis)
+    dataset = attach_scores(dataset)
+    features = build_feature_tensor(dataset, ScoreConfig())
+    targets = np.asarray(dataset.labels_daily, dtype=np.int64)
+    lifts = []
+    for t_day in T_DAYS:
+        model = make_model("RF-F1", n_estimators=8, n_training_days=6,
+                           random_state=seed + t_day)
+        scores = model.fit_forecast(features, targets, t_day, HORIZON, WINDOW)
+        evaluation = evaluate_ranking(scores, targets[:, t_day + HORIZON])
+        if evaluation.defined:
+            lifts.append(evaluation.lift)
+    return float(np.mean(lifts)) if lifts else float("nan")
+
+
+def test_ablation_imputation(benchmark, raw_bench_dataset):
+    imputers = {
+        "DAE (paper)": DAEImputer(DAEImputerConfig(epochs=6, seed=0)),
+        "forward fill": ForwardFillImputer(),
+        "per-KPI mean": MeanImputer(),
+    }
+
+    def run_all():
+        return {
+            name: _pipeline_lift(raw_bench_dataset, imputer, seed=i * 37)
+            for i, (name, imputer) in enumerate(imputers.items())
+        }
+
+    lifts = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[name, f"{lift:.2f}"] for name, lift in lifts.items()]
+    text = "RF-F1 mean lift under different imputation strategies:\n"
+    text += format_table(["imputer", "mean lift"], rows)
+    report("ablation_imputation", text)
+
+    # All strategies must produce a working pipeline far above random;
+    # at ~4 % missingness the choice is not make-or-break (which is
+    # itself the informative result of this ablation).
+    for name, lift in lifts.items():
+        assert lift > 2.0, name

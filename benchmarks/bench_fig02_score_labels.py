@@ -1,0 +1,43 @@
+"""Fig. 2 — a sector's daily score S^d and binary hot spot label Y^d.
+
+The paper's Fig. 2 shows a sector whose daily score moves with the
+week/weekend cycle and the corresponding thresholded label.  This bench
+regenerates that panel for the most pattern-regular sector and checks
+the coupling between score, threshold, and label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _reporting import format_series, report
+from repro.core.scoring import ScoreConfig
+
+
+def test_fig02_score_and_labels(benchmark, bench_dataset):
+    data = bench_dataset
+    threshold = ScoreConfig().hotspot_threshold
+
+    def compute():
+        daily = data.score_daily
+        labels = data.labels_daily
+        # pick the sector with the most label transitions (pattern-rich)
+        transitions = np.abs(np.diff(labels, axis=1)).sum(axis=1)
+        sector = int(np.argmax(transitions))
+        return sector, daily[sector], labels[sector]
+
+    sector, score, labels = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    days = list(range(0, min(56, score.size)))
+    text = "\n".join(
+        [
+            f"sector {sector}, first {len(days)} days "
+            f"(threshold eps = {threshold}):",
+            format_series("S^d", days[:28], list(score[:28]), fmt="{:.2f}"),
+            format_series("Y^d", days[:28], list(labels[:28].astype(float)), fmt="{:.0f}"),
+        ]
+    )
+    report("fig02_score_labels", text)
+
+    np.testing.assert_array_equal(labels, (score > threshold).astype(labels.dtype))
+    assert 0 < labels.mean() < 1  # the sector flips state, as in the figure

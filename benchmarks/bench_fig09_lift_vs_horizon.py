@@ -1,0 +1,55 @@
+"""Fig. 9 — 'be a hot spot': average lift vs prediction horizon (w = 7).
+
+Paper shape to reproduce:
+
+* Random sits at lift ~1 for every horizon;
+* Persist and Trend trail the other models, with Persist peaking at the
+  weekly horizons h = 7 and 14;
+* the Average baseline performs surprisingly well but never beats the
+  best classifier on average;
+* classifier models keep a large lift (>> 1) even at h = 29.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _reporting import format_table, report
+from conftest import BENCH_HORIZONS
+from repro.core.experiment import ALL_MODEL_NAMES, mean_lift_by
+
+
+def test_fig09_lift_vs_horizon(benchmark, hot_runner, hot_sweep):
+    # Time one representative sweep cell; the full sweep is session-cached.
+    benchmark.pedantic(
+        hot_runner.run_cell, args=("RF-F1", 60, 5, 7), rounds=1, iterations=1
+    )
+
+    table = mean_lift_by(hot_sweep, "h")
+    rows = []
+    for model in ALL_MODEL_NAMES:
+        cells = [table.get((model, h), {"mean_lift": float("nan")}) for h in BENCH_HORIZONS]
+        rows.append([model] + [f"{c['mean_lift']:.2f}" for c in cells])
+    text = "average lift vs horizon h (w=7):\n" + format_table(
+        ["model"] + [f"h={h}" for h in BENCH_HORIZONS], rows
+    )
+    report("fig09_lift_vs_horizon", text)
+
+    def mean_lift(model, horizons=BENCH_HORIZONS):
+        values = [table[(model, h)]["mean_lift"] for h in horizons
+                  if (model, h) in table and np.isfinite(table[(model, h)]["mean_lift"])]
+        return float(np.mean(values)) if values else float("nan")
+
+    # Random at chance level
+    assert 0.5 < mean_lift("Random") < 2.0
+    # every informed model far above random
+    for model in ("Persist", "Average", "Trend", "Tree", "RF-R", "RF-F1", "RF-F2"):
+        assert mean_lift(model) > 2.0, model
+    # the best forest beats the raw persist/trend baselines on average
+    best_rf = max(mean_lift(m) for m in ("RF-R", "RF-F1", "RF-F2"))
+    assert best_rf > mean_lift("Trend")
+    # long-horizon forecasts stay far better than random (paper: >12x at h=29)
+    assert mean_lift("RF-F1", horizons=(26, 29)) > 2.0
+    # Persist weekly peaks: h=7 above the neighbouring h=5 and h=10
+    persist = {h: mean_lift("Persist", horizons=(h,)) for h in (5, 7, 10)}
+    assert persist[7] > persist[5] or persist[7] > persist[10]

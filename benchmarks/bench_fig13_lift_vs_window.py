@@ -1,0 +1,52 @@
+"""Fig. 13 — 'be a hot spot': average lift vs past window w (RF-F1).
+
+Paper shape: one day of history already yields lift near the model's
+ceiling (the paper reports ~10x with w = 1); performance grows until
+w = 7 and plateaus from there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _reporting import format_table, report
+from conftest import BENCH_WINDOWS
+from repro.core.experiment import mean_lift_by
+
+HORIZONS = (1, 2, 4, 8, 16, 26)
+
+
+def test_fig13_lift_vs_window(benchmark, hot_runner, hot_window_sweep):
+    benchmark.pedantic(
+        hot_runner.run_cell, args=("RF-F1", 60, 4, 3), rounds=1, iterations=1
+    )
+
+    table = mean_lift_by(hot_window_sweep, "w")
+    # Per (w, h) view for the printed figure.
+    by_pair: dict[tuple[int, int], list[float]] = {}
+    for result in hot_window_sweep:
+        if result.evaluation.defined:
+            by_pair.setdefault((result.window, result.horizon), []).append(
+                result.evaluation.lift
+            )
+    rows = []
+    for h in HORIZONS:
+        cells = []
+        for w in BENCH_WINDOWS:
+            values = by_pair.get((w, h), [])
+            cells.append(f"{np.mean(values):.2f}" if values else "nan")
+        rows.append([f"h={h}"] + cells)
+    text = "RF-F1 average lift vs window w:\n" + format_table(
+        ["horizon"] + [f"w={w}" for w in BENCH_WINDOWS], rows
+    )
+    report("fig13_lift_vs_window", text)
+
+    def lift_at_w(w):
+        return table[("RF-F1", w)]["mean_lift"]
+
+    # already useful with a single day of history
+    assert lift_at_w(1) > 2.0
+    # plateau: widening the window beyond 7 days changes little relative
+    # to the gain over w=1 (no collapse, no runaway growth)
+    plateau = [lift_at_w(w) for w in (7, 10, 14, 21)]
+    assert max(plateau) / max(min(plateau), 1e-9) < 2.0

@@ -1,0 +1,58 @@
+"""Fig. 15 — cumulative feature importance map, 'be a hot spot' (RF-R).
+
+Paper shape: the most important feature is the weekly score channel,
+with importance growing toward the present; the daily/hourly score and
+the daily label contribute; usage- and congestion-related KPIs make a
+non-negligible contribution; the enriched calendar contributes almost
+nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _reporting import format_table, report
+from repro.core.features import build_feature_tensor
+from repro.core.forecaster import make_model
+from repro.core.importance import importance_map
+from repro.core.scoring import ScoreConfig
+
+
+def test_fig15_importance_map(benchmark, bench_dataset):
+    features = build_feature_tensor(bench_dataset, ScoreConfig())
+    targets = np.asarray(bench_dataset.labels_daily, dtype=np.int64)
+    model = make_model("RF-R", n_estimators=16, n_training_days=8, random_state=0)
+
+    def fit():
+        model.fit(features, targets, t_day=60, horizon=5, window=7)
+        return model
+
+    benchmark.pedantic(fit, rounds=1, iterations=1)
+    imap = importance_map(model, features, window=7)
+
+    rows = [
+        [name, f"{value:.3f}"] for name, value in imap.top_channels(10)
+    ]
+    text = "top channels by total importance (RF-R, h=5, w=7):\n"
+    text += format_table(["channel", "importance"], rows)
+    families = imap.family_totals(features)
+    text += "\nfamily totals: " + ", ".join(
+        f"{k} {v:.3f}" for k, v in families.items()
+    )
+    # importance of the weekly score over window time (growth toward present)
+    weekly_idx = features.channel_names.index("score_weekly")
+    halves = imap.raw[:, weekly_idx]
+    text += (
+        f"\nscore_weekly importance: first half {halves[:84].sum():.3f}, "
+        f"second half {halves[84:].sum():.3f}"
+    )
+    report("fig15_importance_map", text)
+
+    # score family dominates calendar (paper: calendar ~ no contribution)
+    assert families["scores"] + families["label"] > families["calendar"]
+    assert families["calendar"] < 0.15
+    # a score channel ranks among the top channels
+    top_names = [name for name, __ in imap.top_channels(5)]
+    assert any(name.startswith("score_") or name == "label_daily" for name in top_names)
+    # KPIs contribute non-negligibly
+    assert families["kpis"] > 0.05

@@ -1,0 +1,71 @@
+"""Fig. 16 — cumulative feature importance map, 'become a hot spot' (RF-R).
+
+Paper shape: compared to the 'be a hot spot' task (Fig. 15), the KPI
+channels become *more* important when forecasting non-regular
+transitions — in particular usage/congestion indicators (queueing,
+utilization, occupancy) — because the score history alone carries no
+early signal for a sector that is about to turn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _reporting import format_table, report
+from repro.core.features import build_feature_tensor
+from repro.core.forecaster import make_model
+from repro.core.importance import importance_map
+from repro.core.labels import become_hot_labels
+from repro.core.scoring import ScoreConfig
+
+USAGE_CHANNELS = ("data_utilization_rate", "hsdpa_queue_users", "tti_occupancy",
+                  "congestion_ratio")
+
+
+def test_fig16_become_importance_map(benchmark, bench_dataset):
+    config = ScoreConfig()
+    features = build_feature_tensor(bench_dataset, config)
+    become = np.asarray(
+        become_hot_labels(bench_dataset.score_daily, config.hotspot_threshold),
+        dtype=np.int64,
+    )
+    hot = np.asarray(bench_dataset.labels_daily, dtype=np.int64)
+
+    become_model = make_model("RF-R", n_estimators=16, n_training_days=10,
+                              random_state=0)
+
+    def fit():
+        become_model.fit(features, become, t_day=70, horizon=5, window=7)
+        return become_model
+
+    benchmark.pedantic(fit, rounds=1, iterations=1)
+    become_map = importance_map(become_model, features, window=7)
+
+    hot_model = make_model("RF-R", n_estimators=16, n_training_days=10,
+                           random_state=0)
+    hot_model.fit(features, hot, t_day=70, horizon=5, window=7)
+    hot_map = importance_map(hot_model, features, window=7)
+
+    become_families = become_map.family_totals(features)
+    hot_families = hot_map.family_totals(features)
+
+    rows = [[name, f"{value:.3f}"] for name, value in become_map.top_channels(10)]
+    text = "'become': top channels by total importance (RF-R, h=5, w=7):\n"
+    text += format_table(["channel", "importance"], rows)
+    text += "\nfamily totals ('become'): " + ", ".join(
+        f"{k} {v:.3f}" for k, v in become_families.items()
+    )
+    text += "\nfamily totals ('be'):     " + ", ".join(
+        f"{k} {v:.3f}" for k, v in hot_families.items()
+    )
+    usage_total = sum(
+        become_map.channel_totals()[features.channel_names.index(c)]
+        for c in USAGE_CHANNELS
+    )
+    text += f"\nusage/congestion channel total ('become'): {usage_total:.3f}"
+    report("fig16_become_importance_map", text)
+
+    # Paper: KPI importance increases for the 'become' forecast
+    assert become_families["kpis"] > hot_families["kpis"]
+    # usage/congestion channels carry real weight
+    assert usage_total > 0.03

@@ -1,0 +1,42 @@
+"""Table II — top-20 weekly hot spot patterns and their relative counts.
+
+Paper shape: the full-week pattern (M T W T F S S) and the workweek
+patterns (M T W T F, M T W T F S) occupy the top ranks; single-day
+patterns appear in the upper half; purely weekend patterns exist but at
+lower ranks than the leading workday patterns.  The paper also reports
+an average weekly-pattern consistency of ~0.6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _reporting import format_table, report
+from repro.analysis.patterns import pattern_consistency, weekly_patterns
+
+
+def test_tab02_weekly_patterns(benchmark, bench_dataset):
+    labels = bench_dataset.labels_daily
+
+    table = benchmark.pedantic(weekly_patterns, args=(labels,), rounds=1, iterations=1)
+    consistency = pattern_consistency(labels)
+
+    rows = [
+        [rank + 2, pattern, f"{pct:.1f}"]
+        for rank, (pattern, pct) in enumerate(table.top(20))
+    ]
+    text = format_table(["rank", "pattern", "count [%]"], rows)
+    pct = np.percentile(consistency, [5, 25, 50, 75, 95])
+    text += (
+        f"\n(rank 1, never-hot, excluded as in the paper)"
+        f"\nweekly pattern consistency: mean {consistency.mean():.2f}; "
+        f"p5/p25/p50/p75/p95 = " + "/".join(f"{v:.2f}" for v in pct)
+    )
+    report("tab02_weekly_patterns", text)
+
+    top = [pattern for pattern, __ in table.top(8)]
+    assert "M T W T F S S" in top[:3]
+    # a workday-block pattern (M-F or M-Sa) must rank in the top 8
+    assert any(p in top for p in ("M T W T F - -", "M T W T F S -"))
+    # consistency comparable to the paper's 0.6 average
+    assert 0.35 < consistency.mean() < 0.95

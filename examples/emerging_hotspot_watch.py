@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Emerging hot spot watch: catch sectors about to turn persistently bad.
+
+The paper's headline result is the 'become a hot spot' forecast: sectors
+that were healthy for a week and then turn into persistent hot spots are
+exactly the ones score-history baselines cannot see coming, yet the raw
+KPIs carry a precursor (rising queueing, utilization, and occupancy).
+Tree models exploit it and beat the best baseline by >100 % at moderate
+horizons.
+
+This example builds a daily watchlist:
+
+1. train an RF-R forecaster on the 'become' target;
+2. each evaluation day, rank sectors by predicted transition risk;
+3. show the watchlist quality (lift over random) next to the Average
+   baseline, and inspect the usage KPIs of one correctly caught sector.
+
+Usage: python examples/emerging_hotspot_watch.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DAEImputer,
+    DAEImputerConfig,
+    GeneratorConfig,
+    TelemetryGenerator,
+    attach_scores,
+    become_hot_labels,
+    filter_sectors,
+)
+from repro.core.baselines import AverageModel
+from repro.core.evaluation import evaluate_ranking
+from repro.core.features import build_feature_tensor
+from repro.core.forecaster import make_model
+from repro.core.scoring import ScoreConfig
+from repro.synth import EventConfig
+
+HORIZON = 5
+WINDOW = 7
+
+
+def main() -> None:
+    print("preparing network ...")
+    # Raised onset rate: at demo scale (~160 sectors) the default rate
+    # yields about one transition per day, too few to rank meaningfully.
+    config = GeneratorConfig(
+        n_towers=60, n_weeks=18, seed=21,
+        events=EventConfig(onset_rate_per_sector=2.5),
+    )
+    dataset = TelemetryGenerator(config).generate()
+    dataset, __ = filter_sectors(dataset)
+    dataset.kpis = DAEImputer(DAEImputerConfig(epochs=8)).fit_transform(dataset.kpis)
+    dataset = attach_scores(dataset)
+
+    score_config = ScoreConfig()
+    features = build_feature_tensor(dataset, score_config)
+    become = np.asarray(
+        become_hot_labels(dataset.score_daily, score_config.hotspot_threshold),
+        dtype=np.int64,
+    )
+    print(f"{become.sum()} transition days across "
+          f"{dataset.n_sectors} sectors in the whole period\n")
+
+    eval_days = [t for t in range(55, 100, 6)]
+    print(f"{'t':>4s} {'transitions@t+5':>16s} {'Average lift':>13s} {'RF-R lift':>10s}")
+    caught_example = None
+    for t_day in eval_days:
+        truth = become[:, t_day + HORIZON]
+        if truth.sum() == 0:
+            print(f"{t_day:4d} {0:16d} {'—':>13s} {'—':>10s}")
+            continue
+        baseline_scores = AverageModel().forecast(
+            dataset.score_daily, dataset.labels_daily, t_day, HORIZON, WINDOW
+        )
+        model = make_model("RF-R", n_estimators=12, n_training_days=8,
+                           random_state=t_day)
+        rf_scores = model.fit_forecast(features, become, t_day, HORIZON, WINDOW)
+
+        base_eval = evaluate_ranking(baseline_scores, truth)
+        rf_eval = evaluate_ranking(rf_scores, truth)
+        print(f"{t_day:4d} {int(truth.sum()):16d} {base_eval.lift:13.1f} "
+              f"{rf_eval.lift:10.1f}")
+
+        if caught_example is None:
+            top = np.argsort(-rf_scores)[:10]
+            hits = [s for s in top if truth[s]]
+            if hits:
+                caught_example = (int(hits[0]), t_day)
+
+    if caught_example is not None:
+        sector, t_day = caught_example
+        print(f"\nprecursor inspection: sector {sector}, transition near day "
+              f"{t_day + HORIZON}")
+        queue = dataset.kpis.values[sector, :, 8]  # hsdpa_queue_users
+        for day in range(t_day - 3, t_day + HORIZON + 1):
+            daily_queue = queue[day * 24 : (day + 1) * 24].mean()
+            daily_score = dataset.score_daily[sector, day]
+            marker = "  <- transition" if day == t_day + HORIZON else ""
+            print(f"  day {day:3d}: queue users {daily_queue:5.2f}, "
+                  f"score {daily_score:.3f}{marker}")
+        print("\nThe queue builds for days while the score stays low — that is"
+              "\nthe signal the forest uses and the baselines cannot see.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Network dynamics report: the paper's Sec. III analyses in one pass.
+
+Produces a text report of hot spot dynamics for a generated network:
+
+* duration statistics — hours/day, days/week, weeks as hot spot, and
+  consecutive-run histograms (paper Figs. 6-7);
+* the top weekly patterns in the paper's M T W T F S S notation and the
+  weekly pattern consistency (Table II);
+* spatial correlation versus distance: same-tower bucket, decay of the
+  median, and far-away best matches (Fig. 8).
+
+Usage: python examples/network_dynamics_report.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    GeneratorConfig,
+    TelemetryGenerator,
+    attach_scores,
+    consecutive_period_histogram,
+    days_per_week_histogram,
+    filter_sectors,
+    hours_per_day_histogram,
+    pattern_consistency,
+    spatial_correlation,
+    weekly_patterns,
+    weeks_as_hotspot_histogram,
+)
+from repro.imputation import ForwardFillImputer
+
+
+def bar(fraction: float, width: int = 40) -> str:
+    return "#" * int(round(fraction * width))
+
+
+def main() -> None:
+    print("generating and scoring network ...\n")
+    config = GeneratorConfig(n_towers=80, n_weeks=18, seed=2)
+    dataset = TelemetryGenerator(config).generate()
+    dataset, __ = filter_sectors(dataset)
+    dataset.kpis = ForwardFillImputer().fit_transform(dataset.kpis)
+    dataset = attach_scores(dataset)
+
+    print(f"== network: {dataset.n_sectors} sectors, "
+          f"{dataset.time_axis.n_weeks} weeks ==")
+    print(f"hot rates: hourly {dataset.labels_hourly.mean():.1%}, "
+          f"daily {dataset.labels_daily.mean():.1%}\n")
+
+    print("-- hours per day as hot spot (Fig. 6A) --")
+    hours, rel = hours_per_day_histogram(dataset.labels_hourly)
+    for h, r in zip(hours, rel):
+        if r > 0.005:
+            print(f"  {h:2d} h {r:6.3f} {bar(r / max(rel))}")
+
+    print("\n-- days per week as hot spot (Fig. 6B) --")
+    days, rel = days_per_week_histogram(dataset.labels_daily)
+    for d, r in zip(days, rel):
+        print(f"  {d} d {r:6.3f} {bar(r / max(rel))}")
+
+    print("\n-- weeks as hot spot (Fig. 6C) --")
+    weeks, rel = weeks_as_hotspot_histogram(dataset.labels_weekly)
+    for w, r in zip(weeks, rel):
+        if r > 0.005:
+            print(f"  {w:2d} w {r:6.3f} {bar(r / max(rel))}")
+
+    print("\n-- consecutive days as hot spot (Fig. 7B, first 15) --")
+    lengths, rel = consecutive_period_histogram(dataset.labels_daily)
+    for length, r in list(zip(lengths, rel))[:15]:
+        print(f"  {length:2d} d {r:6.3f} {bar(r / max(rel))}")
+
+    print("\n-- top 15 weekly patterns (Table II) --")
+    table = weekly_patterns(dataset.labels_daily)
+    print(f"  (never-hot weeks: {table.never_hot_fraction:.1%}, excluded)")
+    for pattern, pct in table.top(15):
+        print(f"  {pattern}   {pct:5.1f} %")
+
+    consistency = pattern_consistency(dataset.labels_daily)
+    pct = np.percentile(consistency, [5, 25, 50, 75, 95])
+    print(f"\nweekly pattern consistency: mean {consistency.mean():.2f}; "
+          f"percentiles 5/25/50/75/95 = "
+          + "/".join(f"{p:.2f}" for p in pct))
+
+    print("\n-- spatial correlation vs distance (Fig. 8) --")
+    result = spatial_correlation(
+        dataset.labels_hourly, dataset.geography,
+        n_nearest=100, n_best=40, max_sectors=80,
+    )
+    print(f"  {'km':>6s} {'avg med':>8s} {'max med':>8s} {'best med':>9s}")
+    for row in result.summary_rows():
+        print(f"  {row['distance_km']:>6s} {row['average_median']:8.2f} "
+              f"{row['maximum_median']:8.2f} {row['best_median']:9.2f}")
+    print("\nReading: the strongest matches live on the same tower (0 km,"
+          "\nbest column), the typical neighbour correlation (avg column)"
+          "\ndies out within a few hundred metres, yet a decent 'twin'"
+          "\nexists in nearly every distance bucket — land use repeats"
+          "\nacross the map, just as the paper observes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Proactive maintenance planning: one-week-ahead hot spot shortlists.
+
+The paper's motivation (1): investment and troubleshooting plans are
+finalised weeks in advance, so an operator wants to know *today* which
+sectors will be underperforming *next week*.  This example:
+
+1. builds a scored network;
+2. every Monday of the evaluation period, forecasts hot spots 7 days
+   ahead with the best baseline (Average) and a random forest (RF-F1);
+3. hands the field team a fixed-size shortlist (top-k ranked sectors)
+   and reports how many true hot spots each method's shortlist caught.
+
+Usage: python examples/proactive_maintenance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DAEImputer,
+    DAEImputerConfig,
+    GeneratorConfig,
+    TelemetryGenerator,
+    attach_scores,
+    filter_sectors,
+)
+from repro.core.baselines import AverageModel
+from repro.core.features import build_feature_tensor
+from repro.core.forecaster import make_model
+from repro.core.scoring import ScoreConfig
+
+HORIZON = 7          # plan one week ahead
+WINDOW = 7           # use one week of history
+SHORTLIST = 15       # field team capacity: sectors visited per week
+
+
+def main() -> None:
+    print("preparing network ...")
+    config = GeneratorConfig(n_towers=40, n_weeks=18, seed=13)
+    dataset = TelemetryGenerator(config).generate()
+    dataset, __ = filter_sectors(dataset)
+    dataset.kpis = DAEImputer(DAEImputerConfig(epochs=8)).fit_transform(dataset.kpis)
+    dataset = attach_scores(dataset)
+    features = build_feature_tensor(dataset, ScoreConfig())
+    targets = np.asarray(dataset.labels_daily, dtype=np.int64)
+
+    mondays = [t for t in range(56, 106, 7)]  # Monday-aligned planning days
+    print(f"planning days (t): {mondays}; horizon {HORIZON} d; "
+          f"shortlist size {SHORTLIST}\n")
+    print(f"{'t':>4s} {'hot@t+7':>8s} {'Average hits':>13s} {'RF-F1 hits':>11s}")
+
+    total_avg = total_rf = total_hot = 0
+    for t_day in mondays:
+        truth = targets[:, t_day + HORIZON]
+        n_hot = int(truth.sum())
+
+        average_scores = AverageModel().forecast(
+            dataset.score_daily, dataset.labels_daily, t_day, HORIZON, WINDOW
+        )
+        model = make_model("RF-F1", n_estimators=10, n_training_days=6,
+                           random_state=t_day)
+        rf_scores = model.fit_forecast(features, targets, t_day, HORIZON, WINDOW)
+
+        avg_hits = int(truth[np.argsort(-average_scores)[:SHORTLIST]].sum())
+        rf_hits = int(truth[np.argsort(-rf_scores)[:SHORTLIST]].sum())
+        total_avg += avg_hits
+        total_rf += rf_hits
+        total_hot += n_hot
+        print(f"{t_day:4d} {n_hot:8d} {avg_hits:13d} {rf_hits:11d}")
+
+    print(f"\ntotals: {total_hot} true hot sector-days; shortlists caught "
+          f"{total_avg} (Average) vs {total_rf} (RF-F1)")
+    if total_avg > 0:
+        print(f"forest advantage: {100.0 * (total_rf - total_avg) / total_avg:+.0f} % "
+              "more hot spots caught at identical shortlist cost")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: generate telemetry, clean it, and forecast hot spots.
+
+Runs the whole pipeline end-to-end at laptop scale in about a minute:
+
+1. generate a synthetic cellular network (towers, sectors, 21 hourly
+   KPIs, non-regular events, missing values);
+2. filter sectors with too much missingness and impute the rest with
+   the denoising autoencoder;
+3. compute the operator's hot spot score and labels;
+4. forecast hot spots 5 days ahead with every baseline and tree model,
+   reporting lift over random.
+
+Usage: python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DAEImputer,
+    DAEImputerConfig,
+    GeneratorConfig,
+    SweepRunner,
+    TelemetryGenerator,
+    attach_scores,
+    filter_sectors,
+)
+from repro.core.experiment import ALL_MODEL_NAMES
+
+
+def main() -> None:
+    print("1) generating synthetic telemetry ...")
+    config = GeneratorConfig(n_towers=40, n_weeks=18, seed=7)
+    dataset = TelemetryGenerator(config).generate()
+    print(f"   {dataset.kpis}")
+
+    print("2) filtering sectors and imputing missing values ...")
+    dataset, kept = filter_sectors(dataset)
+    print(f"   kept {kept.sum()}/{kept.size} sectors "
+          f"({dataset.kpis.missing_fraction():.1%} values still missing)")
+    imputer = DAEImputer(DAEImputerConfig(epochs=8))
+    dataset.kpis = imputer.fit_transform(dataset.kpis)
+    print(f"   imputation done (final training loss "
+          f"{imputer.loss_history_[-1]:.4f})")
+
+    print("3) scoring and labelling ...")
+    dataset = attach_scores(dataset)
+    print(f"   daily hot spot rate: {dataset.labels_daily.mean():.1%}")
+
+    print("4) forecasting 5 days ahead (w = 7 days of history) ...")
+    runner = SweepRunner(dataset, target="hot", n_estimators=10,
+                         n_training_days=6, seed=0)
+    print(f"   {'model':10s} {'lift over random':>18s}")
+    for model in ALL_MODEL_NAMES:
+        cell = runner.run_cell(model, t_day=60, horizon=5, window=7)
+        print(f"   {model:10s} {cell.evaluation.lift:18.2f}")
+    print("\nHigher lift = better ranking of tomorrow-plus-4-days hot"
+          " sectors; Random sits near 1 by construction.")
+
+
+if __name__ == "__main__":
+    main()

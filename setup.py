@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+editable install path (`pip install -e . --no-build-isolation
+--no-use-pep517`) on offline machines where PEP 517 editable builds
+fail for lack of `wheel`.
+"""
+
+from setuptools import setup
+
+setup()

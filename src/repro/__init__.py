@@ -1,0 +1,108 @@
+"""repro — reproduction of "Hot or not? Forecasting cellular network hot
+spots using sector performance indicators" (Serra et al., ICDE 2017).
+
+Quickstart
+----------
+>>> from repro import GeneratorConfig, TelemetryGenerator, attach_scores
+>>> from repro import DAEImputer, filter_sectors, SweepGrid, SweepRunner
+>>> data = TelemetryGenerator(GeneratorConfig(n_towers=20, n_weeks=10)).generate()
+>>> data, kept = filter_sectors(data)
+>>> data.kpis = DAEImputer().fit_transform(data.kpis)
+>>> data = attach_scores(data)
+>>> runner = SweepRunner(data, target="hot")
+>>> results = runner.run(SweepGrid.small(models=("Average", "RF-F1"), n_t=2,
+...                                      horizons=(5,), windows=(7,)))
+
+Subpackages
+-----------
+- :mod:`repro.synth` — synthetic telemetry generator (data substrate);
+- :mod:`repro.data` — tensors, dataset bundles, persistence;
+- :mod:`repro.imputation` — sector filtering and DAE imputation;
+- :mod:`repro.ml` — from-scratch trees, forests, autoencoder, metrics;
+- :mod:`repro.core` — scoring, labels, features, models, sweeps;
+- :mod:`repro.analysis` — temporal/spatial dynamics analyses;
+- :mod:`repro.stats` — KS test, correlations, bucketing, run lengths.
+"""
+
+from repro.analysis import (
+    consecutive_period_histogram,
+    days_per_week_histogram,
+    hours_per_day_histogram,
+    pattern_consistency,
+    spatial_correlation,
+    weekly_patterns,
+    weeks_as_hotspot_histogram,
+)
+from repro.core import (
+    AverageModel,
+    HotSpotForecaster,
+    PersistModel,
+    RandomModel,
+    ScoreConfig,
+    SweepGrid,
+    SweepRunner,
+    TrendModel,
+    attach_scores,
+    augment_with_twins,
+    become_hot_labels,
+    build_feature_tensor,
+    find_twins,
+    hot_spot_labels,
+    importance_map,
+    make_model,
+    temporal_stability,
+)
+from repro.data import Dataset, KPITensor, load_dataset, save_dataset
+from repro.imputation import DAEImputer, DAEImputerConfig, filter_sectors
+from repro.ml import (
+    DecisionTreeClassifier,
+    DenoisingAutoencoder,
+    RandomForestClassifier,
+    average_precision,
+    lift_over_random,
+)
+from repro.synth import GeneratorConfig, TelemetryGenerator, generate_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AverageModel",
+    "DAEImputer",
+    "DAEImputerConfig",
+    "Dataset",
+    "DecisionTreeClassifier",
+    "DenoisingAutoencoder",
+    "GeneratorConfig",
+    "HotSpotForecaster",
+    "KPITensor",
+    "PersistModel",
+    "RandomForestClassifier",
+    "RandomModel",
+    "ScoreConfig",
+    "SweepGrid",
+    "SweepRunner",
+    "TelemetryGenerator",
+    "TrendModel",
+    "attach_scores",
+    "augment_with_twins",
+    "average_precision",
+    "become_hot_labels",
+    "build_feature_tensor",
+    "consecutive_period_histogram",
+    "days_per_week_histogram",
+    "filter_sectors",
+    "find_twins",
+    "generate_dataset",
+    "hot_spot_labels",
+    "hours_per_day_histogram",
+    "importance_map",
+    "lift_over_random",
+    "load_dataset",
+    "make_model",
+    "pattern_consistency",
+    "save_dataset",
+    "spatial_correlation",
+    "temporal_stability",
+    "weekly_patterns",
+    "weeks_as_hotspot_histogram",
+]

@@ -1,0 +1,35 @@
+"""Hot spot dynamics analyses (paper Sec. III).
+
+* :mod:`repro.analysis.temporal` — duration histograms (Figs. 6-7);
+* :mod:`repro.analysis.patterns` — weekly pattern mining and temporal
+  consistency (Table II);
+* :mod:`repro.analysis.spatial` — distance-bucketed correlation
+  analysis (Fig. 8).
+"""
+
+from repro.analysis.patterns import (
+    WeeklyPatternTable,
+    pattern_consistency,
+    weekly_patterns,
+)
+from repro.analysis.report import dynamics_report
+from repro.analysis.spatial import SpatialCorrelation, spatial_correlation
+from repro.analysis.temporal import (
+    consecutive_period_histogram,
+    days_per_week_histogram,
+    hours_per_day_histogram,
+    weeks_as_hotspot_histogram,
+)
+
+__all__ = [
+    "SpatialCorrelation",
+    "WeeklyPatternTable",
+    "consecutive_period_histogram",
+    "days_per_week_histogram",
+    "dynamics_report",
+    "hours_per_day_histogram",
+    "pattern_consistency",
+    "spatial_correlation",
+    "weekly_patterns",
+    "weeks_as_hotspot_histogram",
+]

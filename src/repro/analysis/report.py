@@ -1,0 +1,123 @@
+"""Text report of the Sec. III dynamics analyses.
+
+:func:`dynamics_report` assembles every Sec. III analysis (duration
+histograms, weekly patterns, consistency, spatial correlation) into one
+human-readable report string.  Used by the ``hotspot-repro analyze``
+CLI command; the benchmarks render the same analyses individually.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.patterns import pattern_consistency, weekly_patterns
+from repro.analysis.spatial import spatial_correlation
+from repro.analysis.temporal import (
+    consecutive_period_histogram,
+    days_per_week_histogram,
+    hours_per_day_histogram,
+    weeks_as_hotspot_histogram,
+)
+from repro.data.dataset import Dataset
+
+__all__ = ["dynamics_report"]
+
+
+def _bar(fraction: float, width: int = 32) -> str:
+    return "#" * int(round(fraction * width))
+
+
+def _histogram_block(title: str, support, relative, min_show: float = 0.005) -> list[str]:
+    lines = [title]
+    peak = float(max(relative)) if len(relative) else 1.0
+    for value, fraction in zip(support, relative):
+        if fraction > min_show:
+            lines.append(f"  {value:>3} {fraction:6.3f} {_bar(fraction / peak)}")
+    return lines
+
+
+def dynamics_report(
+    dataset: Dataset,
+    top_patterns: int = 15,
+    spatial_max_sectors: int | None = 80,
+) -> str:
+    """Render the full Sec. III dynamics report for a scored dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset with scores and labels attached.
+    top_patterns:
+        Number of weekly patterns to list (paper Table II shows 20).
+    spatial_max_sectors:
+        Subsample size for the spatial correlation analysis (None = all
+        sectors; quadratic cost).
+    """
+    dataset.require_scores()
+    lines: list[str] = []
+    lines.append(
+        f"== network: {dataset.n_sectors} sectors, "
+        f"{dataset.time_axis.n_weeks} weeks =="
+    )
+    lines.append(
+        f"hot rates: hourly {dataset.labels_hourly.mean():.1%}, "
+        f"daily {dataset.labels_daily.mean():.1%}, "
+        f"weekly {dataset.labels_weekly.mean():.1%}"
+    )
+
+    hours, rel = hours_per_day_histogram(dataset.labels_hourly)
+    lines.append("")
+    lines.extend(_histogram_block("-- hours/day as hot spot (Fig. 6A) --", hours, rel))
+
+    days, rel = days_per_week_histogram(dataset.labels_daily)
+    lines.append("")
+    lines.extend(
+        _histogram_block("-- days/week as hot spot (Fig. 6B) --", days, rel, 0.0)
+    )
+
+    weeks, rel = weeks_as_hotspot_histogram(dataset.labels_weekly)
+    lines.append("")
+    lines.extend(_histogram_block("-- weeks as hot spot (Fig. 6C) --", weeks, rel))
+
+    lengths, rel = consecutive_period_histogram(dataset.labels_daily)
+    lines.append("")
+    lines.extend(
+        _histogram_block(
+            "-- consecutive days as hot spot (Fig. 7B, first 15) --",
+            lengths[:15],
+            rel[:15],
+        )
+    )
+
+    table = weekly_patterns(dataset.labels_daily)
+    lines.append("")
+    lines.append(f"-- top {top_patterns} weekly patterns (Table II) --")
+    lines.append(f"  (never-hot weeks: {table.never_hot_fraction:.1%}, excluded)")
+    for pattern, pct in table.top(top_patterns):
+        lines.append(f"  {pattern}   {pct:5.1f} %")
+
+    consistency = pattern_consistency(dataset.labels_daily)
+    if consistency.size:
+        pct = np.percentile(consistency, [5, 25, 50, 75, 95])
+        lines.append("")
+        lines.append(
+            f"weekly pattern consistency: mean {consistency.mean():.2f}; "
+            "p5/p25/p50/p75/p95 = " + "/".join(f"{v:.2f}" for v in pct)
+        )
+
+    result = spatial_correlation(
+        dataset.labels_hourly,
+        dataset.geography,
+        n_nearest=100,
+        n_best=40,
+        max_sectors=spatial_max_sectors,
+    )
+    lines.append("")
+    lines.append("-- spatial correlation vs distance (Fig. 8) --")
+    lines.append(f"  {'km':>6} {'avg med':>8} {'max med':>8} {'best med':>9}")
+    for row in result.summary_rows():
+        lines.append(
+            f"  {row['distance_km']:>6} {row['average_median']:8.2f} "
+            f"{row['maximum_median']:8.2f} {row['best_median']:9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Temporal duration statistics of hot spots (paper Figs. 6-7).
+
+All functions operate on binary hot spot label matrices and return
+``(support, relative_counts)`` pairs ready for printing or plotting:
+
+* :func:`hours_per_day_histogram` — how many hours per day a sector is
+  hot (Fig. 6A; the paper finds a threshold near 16 hours, matching an
+  8-hour sleeping pattern);
+* :func:`days_per_week_histogram` — days per week as hot spot (Fig. 6B;
+  peaks at 1, 2, 5, and 7 days);
+* :func:`weeks_as_hotspot_histogram` — number of weeks a sector is hot
+  (Fig. 6C; a population is hot the entire period);
+* :func:`consecutive_period_histogram` — run lengths of consecutive hot
+  hours/days (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.tensor import HOURS_PER_DAY
+from repro.stats.runs import run_length_histogram
+
+__all__ = [
+    "hours_per_day_histogram",
+    "days_per_week_histogram",
+    "weeks_as_hotspot_histogram",
+    "consecutive_period_histogram",
+]
+
+_DAYS_PER_WEEK = 7
+
+
+def _validate_binary(labels: np.ndarray) -> np.ndarray:
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise ValueError(f"labels must be 2-D (sectors, time), got {labels.shape}")
+    if not np.isin(labels, (0, 1)).all():
+        raise ValueError("labels must be binary (0/1)")
+    return labels.astype(np.int64)
+
+
+def hours_per_day_histogram(labels_hourly: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Distribution of hours-per-day as hot spot over all hot sector-days.
+
+    Parameters
+    ----------
+    labels_hourly:
+        ``Y^h``, shape ``(n, m_h)``.
+
+    Returns
+    -------
+    (hours, relative_counts):
+        ``hours`` is 1..24; counts are normalised over sector-days with
+        at least one hot hour.
+    """
+    labels = _validate_binary(labels_hourly)
+    n, m_h = labels.shape
+    n_days = m_h // HOURS_PER_DAY
+    per_day = labels[:, : n_days * HOURS_PER_DAY].reshape(n, n_days, HOURS_PER_DAY)
+    hot_hours = per_day.sum(axis=2).ravel()
+    hot_hours = hot_hours[hot_hours > 0]
+    counts = np.bincount(hot_hours, minlength=HOURS_PER_DAY + 1)[1:]
+    total = counts.sum()
+    relative = counts / total if total else counts.astype(np.float64)
+    return np.arange(1, HOURS_PER_DAY + 1), relative
+
+
+def days_per_week_histogram(labels_daily: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Distribution of days-per-week as hot spot over all hot sector-weeks.
+
+    Returns ``(days, relative_counts)`` with days 1..7, normalised over
+    sector-weeks with at least one hot day (Fig. 6B).
+    """
+    labels = _validate_binary(labels_daily)
+    n, m_d = labels.shape
+    n_weeks = m_d // _DAYS_PER_WEEK
+    per_week = labels[:, : n_weeks * _DAYS_PER_WEEK].reshape(n, n_weeks, _DAYS_PER_WEEK)
+    hot_days = per_week.sum(axis=2).ravel()
+    hot_days = hot_days[hot_days > 0]
+    counts = np.bincount(hot_days, minlength=_DAYS_PER_WEEK + 1)[1:]
+    total = counts.sum()
+    relative = counts / total if total else counts.astype(np.float64)
+    return np.arange(1, _DAYS_PER_WEEK + 1), relative
+
+
+def weeks_as_hotspot_histogram(
+    labels_weekly: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distribution of the number of weeks each sector is hot (Fig. 6C).
+
+    Returns ``(weeks, relative_counts)`` with weeks 1..m_w, normalised
+    over sectors that are hot at least one week.
+    """
+    labels = _validate_binary(labels_weekly)
+    m_w = labels.shape[1]
+    weeks_hot = labels.sum(axis=1)
+    weeks_hot = weeks_hot[weeks_hot > 0]
+    counts = np.bincount(weeks_hot, minlength=m_w + 1)[1:]
+    total = counts.sum()
+    relative = counts / total if total else counts.astype(np.float64)
+    return np.arange(1, m_w + 1), relative
+
+
+def consecutive_period_histogram(
+    labels: np.ndarray, max_length: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of consecutive hot periods (Fig. 7).
+
+    Pass hourly labels for consecutive-hours, daily labels for
+    consecutive-days.  Runs are measured per sector and pooled.
+    """
+    return run_length_histogram(_validate_binary(labels), max_length=max_length)

@@ -1,0 +1,160 @@
+"""Command-line front end.
+
+Four subcommands cover the full pipeline::
+
+    hotspot-repro generate --towers 100 --weeks 18 --out data.npz
+    hotspot-repro analyze  --data data.npz
+    hotspot-repro forecast --data data.npz --target hot --horizons 1 5 7
+    hotspot-repro sweep    --data data.npz --out results.jsonl
+
+``generate`` writes a synthetic dataset; ``analyze`` prints the Sec. III
+dynamics summaries; ``forecast`` runs a focused comparison of all eight
+models; ``sweep`` runs a configurable (model, t, h, w) grid and persists
+the result rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import dynamics_report
+from repro.core.experiment import ALL_MODEL_NAMES, SweepGrid, SweepRunner
+from repro.core.scoring import ScoreConfig, attach_scores
+from repro.data.store import load_dataset, save_dataset, save_result_table
+from repro.imputation import DAEImputer, DAEImputerConfig, filter_sectors
+from repro.synth import GeneratorConfig, TelemetryGenerator
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = GeneratorConfig(n_towers=args.towers, n_weeks=args.weeks, seed=args.seed)
+    dataset = TelemetryGenerator(config).generate()
+    path = save_dataset(dataset, args.out)
+    print(f"wrote {dataset.kpis} to {path}")
+    return 0
+
+
+def _prepare(path: str, impute_epochs: int) -> "object":
+    dataset = load_dataset(path)
+    dataset, kept = filter_sectors(dataset)
+    print(f"sector filter kept {kept.sum()}/{kept.size} sectors")
+    imputer = DAEImputer(DAEImputerConfig(epochs=impute_epochs))
+    dataset.kpis = imputer.fit_transform(dataset.kpis)
+    return attach_scores(dataset)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = _prepare(args.data, args.impute_epochs)
+    print()
+    print(dynamics_report(dataset))
+    return 0
+
+
+def _cmd_forecast(args: argparse.Namespace) -> int:
+    dataset = _prepare(args.data, args.impute_epochs)
+    runner = SweepRunner(
+        dataset,
+        target=args.target,
+        n_estimators=args.estimators,
+        n_training_days=args.training_days,
+        seed=args.seed,
+    )
+    print(f"\n{args.target} forecast, w={args.window}:")
+    header = "model    " + "".join(f"  h={h:<4d}" for h in args.horizons)
+    print(header)
+    for model in ALL_MODEL_NAMES:
+        lifts = []
+        for horizon in args.horizons:
+            cell = runner.run_cell(model, args.t_day, horizon, args.window)
+            lifts.append(cell.evaluation.lift)
+        row = f"{model:8s}" + "".join(f"  {lift:6.2f}" for lift in lifts)
+        print(row)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    dataset = _prepare(args.data, args.impute_epochs)
+    runner = SweepRunner(
+        dataset,
+        target=args.target,
+        n_estimators=args.estimators,
+        n_training_days=args.training_days,
+        seed=args.seed,
+    )
+    # Fit the t range to the data: leave room for the largest horizon
+    # (plus the week the 'become' target needs) after t, and for the
+    # largest training window before it.
+    n_days = dataset.time_axis.n_days
+    t_max = n_days - max(args.horizons) - 8
+    t_min = max(args.training_days + max(args.horizons) + max(args.windows) + 1,
+                int(0.4 * t_max))
+    if t_min >= t_max:
+        print(f"dataset too short for this sweep ({n_days} days)")
+        return 1
+    grid = SweepGrid.small(
+        n_t=args.n_t,
+        horizons=tuple(args.horizons),
+        windows=tuple(args.windows),
+        t_min=t_min,
+        t_max=t_max,
+    )
+    print(f"running {grid.n_combinations} sweep cells ...")
+    results = runner.run(grid, progress=True)
+    rows = [r.as_row() for r in results]
+    path = save_result_table(rows, args.out)
+    print(f"wrote {len(rows)} rows to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hotspot-repro",
+        description="Cellular hot spot forecasting (ICDE 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--towers", type=int, default=100)
+    gen.add_argument("--weeks", type=int, default=18)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--data", required=True, help="dataset .npz from 'generate'")
+    common.add_argument("--impute-epochs", type=int, default=10)
+    common.add_argument("--seed", type=int, default=0)
+
+    ana = sub.add_parser("analyze", parents=[common], help="Sec. III dynamics summaries")
+    ana.set_defaults(func=_cmd_analyze)
+
+    fc = sub.add_parser("forecast", parents=[common], help="compare the 8 models")
+    fc.add_argument("--target", choices=("hot", "become"), default="hot")
+    fc.add_argument("--t-day", type=int, default=60)
+    fc.add_argument("--window", type=int, default=7)
+    fc.add_argument("--horizons", type=int, nargs="+", default=[1, 5, 7, 14])
+    fc.add_argument("--estimators", type=int, default=10)
+    fc.add_argument("--training-days", type=int, default=6)
+    fc.set_defaults(func=_cmd_forecast)
+
+    sw = sub.add_parser("sweep", parents=[common], help="run a (model,t,h,w) sweep")
+    sw.add_argument("--target", choices=("hot", "become"), default="hot")
+    sw.add_argument("--n-t", type=int, default=4)
+    sw.add_argument("--horizons", type=int, nargs="+", default=[1, 3, 5, 7, 14])
+    sw.add_argument("--windows", type=int, nargs="+", default=[7])
+    sw.add_argument("--estimators", type=int, default=10)
+    sw.add_argument("--training-days", type=int, default=6)
+    sw.add_argument("--out", required=True)
+    sw.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""The paper's primary contribution: hot spot scoring and forecasting.
+
+Pipeline order:
+
+1. :mod:`repro.core.scoring` — combine KPIs into the hot spot score
+   (Eq. 1) and integrate it hourly/daily/weekly (Eqs. 2–3).
+2. :mod:`repro.core.labels` — threshold scores into binary hot spot
+   labels (Eq. 4) and derive the "become a hot spot" target.
+3. :mod:`repro.core.features` — assemble the input tensor X (Eq. 5).
+4. :mod:`repro.core.feature_sets` — the RF-R / RF-F1 / RF-F2 views.
+5. :mod:`repro.core.baselines` + :mod:`repro.core.forecaster` — the
+   eight forecasting models (Sec. IV-C/D).
+6. :mod:`repro.core.evaluation` + :mod:`repro.core.experiment` — the
+   psi/lift/Delta measures and the (model, t, h, w) sweep (Sec. V).
+7. :mod:`repro.core.stability` — temporal-stability KS analysis.
+8. :mod:`repro.core.importance` — temporal feature-importance maps.
+"""
+
+from repro.core.baselines import (
+    AverageModel,
+    PersistModel,
+    RandomModel,
+    TrendModel,
+)
+from repro.core.evaluation import EvaluationResult, evaluate_ranking, summarize_lifts
+from repro.core.experiment import ExperimentResult, SweepGrid, SweepRunner
+from repro.core.features import FEATURE_NAMES, FeatureTensor, build_feature_tensor
+from repro.core.feature_sets import (
+    hand_crafted_features,
+    percentile_features,
+    raw_features,
+)
+from repro.core.forecaster import (
+    MODEL_REGISTRY,
+    HotSpotForecaster,
+    make_model,
+)
+from repro.core.importance import ImportanceMap, importance_map
+from repro.core.labels import become_hot_labels, hot_spot_labels
+from repro.core.scoring import ScoreConfig, attach_scores, hourly_score, integrate_score
+from repro.core.stability import StabilityReport, temporal_stability
+from repro.core.twins import TwinAssignment, augment_with_twins, find_twins
+
+__all__ = [
+    "AverageModel",
+    "EvaluationResult",
+    "ExperimentResult",
+    "FEATURE_NAMES",
+    "FeatureTensor",
+    "HotSpotForecaster",
+    "ImportanceMap",
+    "MODEL_REGISTRY",
+    "PersistModel",
+    "RandomModel",
+    "ScoreConfig",
+    "StabilityReport",
+    "SweepGrid",
+    "SweepRunner",
+    "TrendModel",
+    "TwinAssignment",
+    "attach_scores",
+    "augment_with_twins",
+    "find_twins",
+    "become_hot_labels",
+    "build_feature_tensor",
+    "evaluate_ranking",
+    "hand_crafted_features",
+    "hot_spot_labels",
+    "hourly_score",
+    "importance_map",
+    "integrate_score",
+    "make_model",
+    "percentile_features",
+    "raw_features",
+    "summarize_lifts",
+    "temporal_stability",
+]

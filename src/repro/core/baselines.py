@@ -1,0 +1,130 @@
+"""Baseline forecasting models (paper Sec. IV-C).
+
+Each baseline produces one ranking value per sector for a forecast made
+at day ``t`` with horizon ``h`` and past window ``w``:
+
+* **Random** — uniform noise; its lift defines chance level (Lambda ~ 1).
+* **Persist** — today's daily label: ``Yhat_{i,t+h} = Y^d_{i,t}``.
+* **Average** — the mean daily score of the past window:
+  ``Yhat = mu(t, w, S^d_i)``.
+* **Trend** — the Average plus a one-day projection of the current
+  trend: the difference between the window's second-half and first-half
+  means divided by ``w / 2``.
+
+Average and Trend outputs are not probabilities, but any monotone score
+ranks sectors, which is all the evaluation needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.rng import ensure_rng
+
+__all__ = ["RandomModel", "PersistModel", "AverageModel", "TrendModel", "BaselineModel"]
+
+
+class BaselineModel:
+    """Interface shared by the four baselines.
+
+    A baseline is stateless across days: :meth:`forecast` computes the
+    ranking scores directly from the daily score/label matrices.
+    """
+
+    #: Registry name of the model.
+    name: str = "baseline"
+
+    def forecast(
+        self,
+        score_daily: np.ndarray,
+        labels_daily: np.ndarray,
+        t_day: int,
+        horizon: int,
+        window: int,
+    ) -> np.ndarray:
+        """Ranking scores for every sector (higher = more likely hot).
+
+        Parameters
+        ----------
+        score_daily:
+            ``S^d``, shape ``(n, m_d)``.
+        labels_daily:
+            ``Y^d``, same shape.
+        t_day:
+            The forecast day ``t`` (data through day ``t`` inclusive is
+            available).
+        horizon:
+            Days ahead ``h >= 1``; present for interface symmetry (the
+            baselines do not use it).
+        window:
+            Past window length ``w >= 1`` in days.
+        """
+        raise NotImplementedError
+
+    def _check(self, score_daily: np.ndarray, t_day: int, window: int) -> None:
+        if t_day < 0 or t_day >= score_daily.shape[1]:
+            raise IndexError(f"t_day {t_day} outside [0, {score_daily.shape[1]})")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if t_day - window + 1 < 0:
+            raise IndexError(
+                f"window of {window} days does not fit before day {t_day}"
+            )
+
+
+class RandomModel(BaselineModel):
+    """Uniform-random ranking: the chance-level reference F0."""
+
+    name = "Random"
+
+    def __init__(self, random_state: int | np.random.Generator | None = None) -> None:
+        self._rng = ensure_rng(random_state)
+
+    def forecast(self, score_daily, labels_daily, t_day, horizon, window):
+        self._check(score_daily, t_day, window)
+        return self._rng.random(score_daily.shape[0])
+
+
+class PersistModel(BaselineModel):
+    """Persistence: forecast today's label for day t + h."""
+
+    name = "Persist"
+
+    def forecast(self, score_daily, labels_daily, t_day, horizon, window):
+        self._check(score_daily, t_day, window)
+        return np.asarray(labels_daily[:, t_day], dtype=np.float64)
+
+
+class AverageModel(BaselineModel):
+    """Mean daily score over the past window (paper's best baseline)."""
+
+    name = "Average"
+
+    def forecast(self, score_daily, labels_daily, t_day, horizon, window):
+        self._check(score_daily, t_day, window)
+        lo = t_day - window + 1
+        return score_daily[:, lo : t_day + 1].mean(axis=1)
+
+
+class TrendModel(BaselineModel):
+    """Average plus a one-day linear projection of the recent trend.
+
+    With half-window ``half = max(w // 2, 1)``::
+
+        trend = (mean(second half) - mean(first half)) / half
+        Yhat  = mean(window) + trend
+
+    For ``w == 1`` the two halves coincide and Trend reduces to Average.
+    """
+
+    name = "Trend"
+
+    def forecast(self, score_daily, labels_daily, t_day, horizon, window):
+        self._check(score_daily, t_day, window)
+        lo = t_day - window + 1
+        block = score_daily[:, lo : t_day + 1]
+        average = block.mean(axis=1)
+        half = max(window // 2, 1)
+        second = block[:, -half:].mean(axis=1)
+        first = block[:, :half].mean(axis=1)
+        return average + (second - first) / half

@@ -1,0 +1,282 @@
+"""The (model, t, h, w) experiment sweep (paper Table III, Sec. V).
+
+:class:`SweepGrid` captures the four swept variables.  The paper's grid
+is ``t in {52..87}``, ``h in {1,2,3,4,5,7,8,10,12,14,16,19,22,26,29}``,
+``w in {1,2,3,5,7,10,14,21}`` over all eight models;
+:meth:`SweepGrid.paper` returns exactly that, and :meth:`SweepGrid.small`
+a subsampled grid for laptop-scale benches.
+
+:class:`SweepRunner` executes the sweep on a scored dataset: it builds
+the feature tensor once, runs every requested combination, and records
+one :class:`ExperimentResult` per evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.baselines import (
+    AverageModel,
+    BaselineModel,
+    PersistModel,
+    RandomModel,
+    TrendModel,
+)
+from repro.core.evaluation import EvaluationResult, evaluate_ranking
+from repro.core.features import FeatureTensor, build_feature_tensor
+from repro.core.forecaster import MODEL_REGISTRY, make_model
+from repro.core.labels import become_hot_labels
+from repro.core.scoring import ScoreConfig
+from repro.data.dataset import Dataset
+from repro.ml.rng import ensure_rng, spawn_rngs
+
+__all__ = ["SweepGrid", "ExperimentResult", "SweepRunner", "BASELINE_NAMES", "ALL_MODEL_NAMES"]
+
+BASELINE_NAMES = ("Random", "Persist", "Average", "Trend")
+ALL_MODEL_NAMES = BASELINE_NAMES + tuple(MODEL_REGISTRY)
+
+PAPER_HORIZONS = (1, 2, 3, 4, 5, 7, 8, 10, 12, 14, 16, 19, 22, 26, 29)
+PAPER_WINDOWS = (1, 2, 3, 5, 7, 10, 14, 21)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The swept variable values (paper Table III).
+
+    Attributes
+    ----------
+    models:
+        Model names from :data:`ALL_MODEL_NAMES`.
+    t_days:
+        Forecast days ``t``.
+    horizons:
+        Prediction horizons ``h`` (days).
+    windows:
+        Past window lengths ``w`` (days).
+    """
+
+    models: tuple[str, ...]
+    t_days: tuple[int, ...]
+    horizons: tuple[int, ...]
+    windows: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        unknown = [m for m in self.models if m not in ALL_MODEL_NAMES]
+        if unknown:
+            raise ValueError(f"unknown models: {unknown}; valid: {ALL_MODEL_NAMES}")
+        if not self.t_days or not self.horizons or not self.windows:
+            raise ValueError("t_days, horizons, and windows must be non-empty")
+        if min(self.horizons) < 1 or min(self.windows) < 1:
+            raise ValueError("horizons and windows must be >= 1")
+
+    @classmethod
+    def paper(cls) -> "SweepGrid":
+        """The full grid of paper Table III."""
+        return cls(
+            models=ALL_MODEL_NAMES,
+            t_days=tuple(range(52, 88)),
+            horizons=PAPER_HORIZONS,
+            windows=PAPER_WINDOWS,
+        )
+
+    @classmethod
+    def small(
+        cls,
+        models: tuple[str, ...] = ALL_MODEL_NAMES,
+        n_t: int = 4,
+        horizons: tuple[int, ...] = (1, 3, 5, 7, 8, 10, 14, 15, 19, 22, 26, 29),
+        windows: tuple[int, ...] = (7,),
+        t_min: int = 52,
+        t_max: int = 87,
+    ) -> "SweepGrid":
+        """A subsampled grid; defaults preserve the paper's t range."""
+        t_days = tuple(int(t) for t in np.linspace(t_min, t_max, n_t).round())
+        return cls(models=models, t_days=t_days, horizons=horizons, windows=windows)
+
+    @property
+    def n_combinations(self) -> int:
+        return (
+            len(self.models) * len(self.t_days) * len(self.horizons) * len(self.windows)
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One sweep cell: the evaluation of (model, t, h, w)."""
+
+    model: str
+    t_day: int
+    horizon: int
+    window: int
+    target: str
+    evaluation: EvaluationResult
+
+    def as_row(self) -> dict:
+        """Flat dictionary for persistence/printing."""
+        return {
+            "model": self.model,
+            "t": self.t_day,
+            "h": self.horizon,
+            "w": self.window,
+            "target": self.target,
+            "psi": self.evaluation.average_precision,
+            "lift": self.evaluation.lift,
+            "n_sectors": self.evaluation.n_sectors,
+            "n_positive": self.evaluation.n_positive,
+        }
+
+
+class SweepRunner:
+    """Execute a sweep over a scored, imputation-complete dataset.
+
+    Parameters
+    ----------
+    dataset:
+        A dataset with scores attached and a complete KPI tensor.
+    target:
+        ``"hot"`` for the 'be a hot spot' task (targets = ``Y^d``) or
+        ``"become"`` for the 'become a hot spot' task.
+    score_config:
+        Scoring configuration (for the feature tensor and the 'become'
+        threshold); defaults match :func:`repro.core.scoring.attach_scores`.
+    n_estimators, n_training_days:
+        Passed to the classifier models.
+    seed:
+        Master seed; every (model, t, h, w) cell gets a derived stream.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        target: str = "hot",
+        score_config: ScoreConfig | None = None,
+        n_estimators: int = 20,
+        n_training_days: int = 6,
+        seed: int = 0,
+    ) -> None:
+        if target not in ("hot", "become"):
+            raise ValueError(f"target must be 'hot' or 'become', got {target!r}")
+        dataset.require_scores()
+        self.dataset = dataset
+        self.target = target
+        self.score_config = score_config or ScoreConfig()
+        self.n_estimators = n_estimators
+        self.n_training_days = n_training_days
+        self.seed = seed
+
+        self.features: FeatureTensor = build_feature_tensor(dataset, self.score_config)
+        self.score_daily = dataset.score_daily
+        self.labels_daily = dataset.labels_daily
+        if target == "hot":
+            self.targets_daily = np.asarray(dataset.labels_daily, dtype=np.int64)
+        else:
+            self.targets_daily = np.asarray(
+                become_hot_labels(
+                    dataset.score_daily, self.score_config.hotspot_threshold
+                ),
+                dtype=np.int64,
+            )
+
+    # ------------------------------------------------------------------ run
+    def run(self, grid: SweepGrid, progress: bool = False) -> list[ExperimentResult]:
+        """Run every grid combination; returns one result per cell.
+
+        Cells whose evaluation day has no positive target labels yield a
+        result with NaN psi/lift (``evaluation.defined`` is False);
+        aggregation helpers skip them.
+        """
+        results: list[ExperimentResult] = []
+        total = grid.n_combinations
+        done = 0
+        for model_name in grid.models:
+            for window in grid.windows:
+                for horizon in grid.horizons:
+                    for t_day in grid.t_days:
+                        results.append(
+                            self.run_cell(model_name, t_day, horizon, window)
+                        )
+                        done += 1
+                        if progress and done % 50 == 0:
+                            print(f"  sweep progress: {done}/{total}")
+        return results
+
+    def run_cell(
+        self, model_name: str, t_day: int, horizon: int, window: int
+    ) -> ExperimentResult:
+        """Evaluate a single (model, t, h, w) combination."""
+        target_day = t_day + horizon
+        if target_day >= self.targets_daily.shape[1]:
+            raise IndexError(
+                f"target day {target_day} beyond the {self.targets_daily.shape[1]} "
+                "available days"
+            )
+        cell_seed = self._cell_seed(model_name, t_day, horizon, window)
+        scores = self._forecast(model_name, t_day, horizon, window, cell_seed)
+        evaluation = evaluate_ranking(scores, self.targets_daily[:, target_day])
+        return ExperimentResult(
+            model=model_name,
+            t_day=t_day,
+            horizon=horizon,
+            window=window,
+            target=self.target,
+            evaluation=evaluation,
+        )
+
+    def _cell_seed(self, model_name: str, t_day: int, horizon: int, window: int) -> int:
+        """Deterministic per-cell seed derived from the master seed.
+
+        Uses CRC32 rather than ``hash()`` so seeds are stable across
+        processes (Python randomises string hashing per process).
+        """
+        import zlib
+
+        key = f"{self.seed}|{model_name}|{t_day}|{horizon}|{window}".encode()
+        return zlib.crc32(key) % (2**31)
+
+    def _forecast(
+        self, model_name: str, t_day: int, horizon: int, window: int, seed: int
+    ) -> np.ndarray:
+        if model_name in BASELINE_NAMES:
+            baseline = self._make_baseline(model_name, seed)
+            return baseline.forecast(
+                self.score_daily, self.labels_daily, t_day, horizon, window
+            )
+        model = make_model(
+            model_name,
+            n_estimators=self.n_estimators,
+            n_training_days=self.n_training_days,
+            random_state=seed,
+        )
+        return model.fit_forecast(self.features, self.targets_daily, t_day, horizon, window)
+
+    @staticmethod
+    def _make_baseline(name: str, seed: int) -> BaselineModel:
+        if name == "Random":
+            return RandomModel(random_state=seed)
+        if name == "Persist":
+            return PersistModel()
+        if name == "Average":
+            return AverageModel()
+        return TrendModel()
+
+
+def mean_lift_by(
+    results: list[ExperimentResult], key: str
+) -> dict[tuple[str, int], dict[str, float]]:
+    """Aggregate mean lift (with CI) per (model, key value).
+
+    *key* is one of ``"h"``, ``"w"``, ``"t"``.  Returns a mapping from
+    ``(model, value)`` to the summary of
+    :func:`repro.core.evaluation.summarize_lifts`.
+    """
+    from collections import defaultdict
+
+    from repro.core.evaluation import summarize_lifts
+
+    attr = {"h": "horizon", "w": "window", "t": "t_day"}[key]
+    groups: dict[tuple[str, int], list] = defaultdict(list)
+    for result in results:
+        groups[(result.model, getattr(result, attr))].append(result.evaluation)
+    return {cell: summarize_lifts(evals) for cell, evals in groups.items()}

@@ -1,0 +1,102 @@
+"""Temporal feature-importance maps (paper Figs. 15-16).
+
+For the RF-R model the flat feature columns correspond one-to-one to
+``(hour within window, channel)`` cells of the input slice, so the
+forest's Gini importances can be reshaped into a ``hours x channels``
+map.  The paper plots the *cumulative* importance over the window's time
+axis, per channel, normalised to [0, 1]; this module reproduces that
+transformation and reports the channel ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FeatureTensor
+from repro.core.forecaster import HotSpotForecaster
+
+__all__ = ["ImportanceMap", "importance_map"]
+
+
+@dataclass(frozen=True)
+class ImportanceMap:
+    """Importance of every (hour-in-window, channel) cell for a forecast.
+
+    Attributes
+    ----------
+    raw:
+        Shape ``(hours, channels)`` Gini importances (sum to 1 over all
+        cells when any split happened).
+    cumulative:
+        Shape ``(hours, channels)`` cumulative importance along the
+        window's time axis, max-normalised to [0, 1] (the paper's
+        Figs. 15-16 rendering).
+    channel_names:
+        One name per channel.
+    """
+
+    raw: np.ndarray
+    cumulative: np.ndarray
+    channel_names: list[str]
+
+    def channel_totals(self) -> np.ndarray:
+        """Total importance per channel (summed over the window hours)."""
+        return self.raw.sum(axis=0)
+
+    def top_channels(self, count: int = 5) -> list[tuple[str, float]]:
+        """The *count* most important channels with their total importance."""
+        totals = self.channel_totals()
+        order = np.argsort(-totals)[:count]
+        return [(self.channel_names[i], float(totals[i])) for i in order]
+
+    def family_totals(self, features: FeatureTensor) -> dict[str, float]:
+        """Total importance per feature family (KPIs / calendar / scores / label)."""
+        totals = self.channel_totals()
+        return {
+            "kpis": float(totals[features.kpi_slice].sum()),
+            "calendar": float(totals[features.calendar_slice].sum()),
+            "scores": float(totals[features.score_slice].sum()),
+            "label": float(totals[features.label_slice].sum()),
+        }
+
+
+def importance_map(
+    forecaster: HotSpotForecaster, features: FeatureTensor, window: int
+) -> ImportanceMap:
+    """Reshape a fitted RF-R forecaster's importances into an hours x channels map.
+
+    Parameters
+    ----------
+    forecaster:
+        A fitted forecaster with the ``"raw"`` feature view (the flat
+        columns of any other view do not map back onto the slice grid).
+    features:
+        The tensor the forecaster was trained on (for channel names).
+    window:
+        The window length ``w`` (days) used at fit time.
+    """
+    if forecaster.feature_view != "raw":
+        raise ValueError(
+            "importance maps require the 'raw' feature view (RF-R); "
+            f"got {forecaster.feature_view!r}"
+        )
+    if not hasattr(forecaster, "feature_importances_"):
+        raise RuntimeError("forecaster is not fitted; call fit() first")
+    importances = np.asarray(forecaster.feature_importances_, dtype=np.float64)
+    hours = 24 * window
+    channels = features.n_channels
+    if importances.size != hours * channels:
+        raise ValueError(
+            f"importances have {importances.size} columns; expected "
+            f"{hours} hours x {channels} channels"
+        )
+    raw = importances.reshape(hours, channels)
+    cumulative = np.cumsum(raw, axis=0)
+    peak = cumulative.max()
+    if peak > 0:
+        cumulative = cumulative / peak
+    return ImportanceMap(
+        raw=raw, cumulative=cumulative, channel_names=list(features.channel_names)
+    )

@@ -1,0 +1,81 @@
+"""Hot spot labels and the "become a hot spot" target (paper Sec. II-B, IV-A).
+
+``hot_spot_labels`` is the plain threshold of Eq. 4:
+``Y_{i,j} = H(S_{i,j} - eps)``.
+
+``become_hot_labels`` marks *transition days*: a sector that was not
+persistently hot over the preceding week, becomes persistently hot over
+the following week, with a clean not-hot -> hot flip between day j and
+day j+1.  The paper's printed formula has its first two Heaviside terms
+swapped relative to the prose ("sectors that were not hot spots for a
+period of time, but became hot spots consistently for the next few
+days"); we implement the prose semantics:
+
+    become[i, j] = (mean(S_d[i, j-6 .. j])   <  eps)      # calm week before
+                 & (mean(S_d[i, j+1 .. j+7]) >= eps)      # hot week after
+                 & (Y_d[i, j] == 0) & (Y_d[i, j+1] == 1)  # clean flip
+
+Days without a full week of context on either side are labelled 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hot_spot_labels", "become_hot_labels"]
+
+_WEEK_DAYS = 7
+
+
+def hot_spot_labels(score: np.ndarray, threshold: float) -> np.ndarray:
+    """Binary hot spot labels ``Y = H(S - eps)`` (Eq. 4).
+
+    Works at any temporal resolution: pass hourly, daily, or weekly
+    scores and get labels of the same shape.
+    """
+    score = np.asarray(score, dtype=np.float64)
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    return (score > threshold).astype(np.int8)
+
+
+def become_hot_labels(score_daily: np.ndarray, threshold: float) -> np.ndarray:
+    """'Become a hot spot' transition labels at daily resolution.
+
+    Parameters
+    ----------
+    score_daily:
+        Shape ``(n, m_d)`` daily scores ``S^d``.
+    threshold:
+        The hot spot threshold ``eps``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, m_d)`` int8 labels; ``become[i, j] = 1`` marks day j
+        as the last calm day before a persistent hot period starting at
+        day j+1.
+    """
+    score = np.asarray(score_daily, dtype=np.float64)
+    if score.ndim != 2:
+        raise ValueError(f"score_daily must be 2-D, got {score.shape}")
+    n, m_d = score.shape
+    labels = hot_spot_labels(score, threshold)
+    become = np.zeros((n, m_d), dtype=np.int8)
+    if m_d < 2 * _WEEK_DAYS + 1:
+        return become
+
+    # Trailing week mean ending at j (inclusive) and leading week mean
+    # over (j, j+7], both computed with cumulative sums.
+    cumsum = np.concatenate([np.zeros((n, 1)), np.cumsum(score, axis=1)], axis=1)
+
+    # Valid transition days: j in [6, m_d - 8] so both windows fit.
+    days = np.arange(_WEEK_DAYS - 1, m_d - _WEEK_DAYS - 1)
+    week_before = (cumsum[:, days + 1] - cumsum[:, days + 1 - _WEEK_DAYS]) / _WEEK_DAYS
+    week_after = (cumsum[:, days + 1 + _WEEK_DAYS] - cumsum[:, days + 1]) / _WEEK_DAYS
+
+    calm_before = week_before < threshold
+    hot_after = week_after >= threshold
+    clean_flip = (labels[:, days] == 0) & (labels[:, days + 1] == 1)
+    become[:, days] = (calm_before & hot_after & clean_flip).astype(np.int8)
+    return become

@@ -1,0 +1,136 @@
+"""Twin-sector feature augmentation (extension).
+
+The paper's spatial analysis (Sec. III, Fig. 8C) shows that nearly every
+sector has a strongly correlated "twin" somewhere in the network,
+independent of distance, and concludes that a forecaster should be free
+of spatial constraints so it can capture such shared behaviour.  The
+paper's own models get this only implicitly, through pooled training.
+
+This module makes the mechanism explicit: for every sector, find the
+peer whose *historical* hot spot label series correlates best (computed
+strictly on data before a cutoff day, so no evaluation-period
+information leaks), then append the twin's score channels to the
+feature tensor.  A sector whose twin just turned hot inherits a strong
+hint that its own shared driver (land use, events calendar, demand
+pattern) is active.
+
+Used by the twin-features ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FeatureTensor
+from repro.data.tensor import HOURS_PER_DAY
+from repro.stats.correlation import pearson_matrix_to_targets
+
+__all__ = ["TwinAssignment", "find_twins", "augment_with_twins"]
+
+
+@dataclass(frozen=True)
+class TwinAssignment:
+    """Best-correlated peer for every sector.
+
+    Attributes
+    ----------
+    twin_index:
+        Shape ``(n,)``; ``twin_index[i]`` is the peer chosen for sector
+        ``i`` (never ``i`` itself).
+    correlation:
+        The training-period label correlation achieved by each pair.
+    cutoff_day:
+        Labels strictly before this day were used to pick the twins.
+    """
+
+    twin_index: np.ndarray
+    correlation: np.ndarray
+    cutoff_day: int
+
+
+def find_twins(
+    labels_hourly: np.ndarray,
+    cutoff_day: int,
+    exclude_self_tower: np.ndarray | None = None,
+) -> TwinAssignment:
+    """Pick each sector's most label-correlated peer from history.
+
+    Parameters
+    ----------
+    labels_hourly:
+        ``Y^h``, shape ``(n, m_h)``.
+    cutoff_day:
+        Only hours before ``24 * cutoff_day`` are considered, keeping
+        the assignment causal with respect to any forecast made at or
+        after the cutoff.
+    exclude_self_tower:
+        Optional tower id per sector; when given, a sector's twin must
+        live on a *different* tower (otherwise the same-tower neighbour,
+        which shares failures, usually wins — legitimate, but the far
+        twin is the phenomenon of interest).
+
+    Returns
+    -------
+    TwinAssignment
+    """
+    labels = np.asarray(labels_hourly, dtype=np.float64)
+    if labels.ndim != 2:
+        raise ValueError(f"labels must be 2-D, got {labels.shape}")
+    n = labels.shape[0]
+    if n < 2:
+        raise ValueError("need at least two sectors to assign twins")
+    horizon_hours = cutoff_day * HOURS_PER_DAY
+    if not 0 < horizon_hours <= labels.shape[1]:
+        raise ValueError(
+            f"cutoff_day {cutoff_day} outside the {labels.shape[1] // 24} available days"
+        )
+    history = labels[:, :horizon_hours]
+    corr = pearson_matrix_to_targets(history)
+    np.fill_diagonal(corr, -np.inf)
+    if exclude_self_tower is not None:
+        towers = np.asarray(exclude_self_tower)
+        same_tower = towers[:, None] == towers[None, :]
+        corr[same_tower] = -np.inf
+        np.fill_diagonal(corr, -np.inf)
+    twin = np.argmax(corr, axis=1)
+    achieved = corr[np.arange(n), twin]
+    achieved = np.where(np.isfinite(achieved), achieved, 0.0)
+    return TwinAssignment(
+        twin_index=twin.astype(np.int64),
+        correlation=achieved,
+        cutoff_day=cutoff_day,
+    )
+
+
+def augment_with_twins(
+    features: FeatureTensor, twins: TwinAssignment
+) -> FeatureTensor:
+    """Append the twin's score channels to every sector's features.
+
+    Adds three channels: the twin's trailing hourly, daily, and weekly
+    scores (channels ``score_hourly``/``score_daily``/``score_weekly``
+    of the twin sector), named with a ``twin_`` prefix.
+
+    The returned tensor has ``n_channels + 3`` channels; the family
+    slices of :class:`~repro.core.features.FeatureTensor` treat the
+    extra channels as part of the *score* family extension (they sit at
+    the end, after ``label_daily``) — consumers that need exact family
+    accounting should use the channel names.
+    """
+    twin_rows = twins.twin_index
+    if twin_rows.shape != (features.n_sectors,):
+        raise ValueError(
+            f"twin assignment covers {twin_rows.shape[0]} sectors, "
+            f"features have {features.n_sectors}"
+        )
+    score_channels = features.score_slice
+    twin_scores = features.values[twin_rows][:, :, score_channels]
+    values = np.concatenate([features.values, twin_scores], axis=2)
+    names = list(features.channel_names) + [
+        f"twin_{features.channel_names[c]}"
+        for c in range(score_channels.start, score_channels.stop)
+    ]
+    n_extra = features.n_extra_channels + (score_channels.stop - score_channels.start)
+    return FeatureTensor(values=values, channel_names=names, n_extra_channels=n_extra)

@@ -1,0 +1,31 @@
+"""Data containers and persistence.
+
+* :mod:`repro.data.tensor` — the :class:`~repro.data.tensor.KPITensor`
+  container holding the hourly KPI tensor ``K`` together with its missing
+  mask and axis metadata.
+* :mod:`repro.data.dataset` — the :class:`~repro.data.dataset.Dataset`
+  bundle tying together KPIs, calendar, geography, scores, and labels.
+* :mod:`repro.data.store` — npz-backed persistence for datasets and
+  experiment results.
+"""
+
+from repro.data.dataset import Dataset, SectorGeography
+from repro.data.export import write_rows_csv, write_series_csv, write_sweep_csv
+from repro.data.store import load_dataset, load_result_table, save_dataset, save_result_table
+from repro.data.tensor import HOURS_PER_DAY, HOURS_PER_WEEK, KPITensor, TimeAxis
+
+__all__ = [
+    "Dataset",
+    "HOURS_PER_DAY",
+    "HOURS_PER_WEEK",
+    "KPITensor",
+    "SectorGeography",
+    "TimeAxis",
+    "load_dataset",
+    "load_result_table",
+    "save_dataset",
+    "save_result_table",
+    "write_rows_csv",
+    "write_series_csv",
+    "write_sweep_csv",
+]

@@ -1,0 +1,67 @@
+"""CSV export of analysis and sweep results.
+
+The benchmark harness renders the paper's tables as fixed-width text;
+users who want to re-plot figures in their own tooling need the raw
+series.  These helpers write plain CSV (no third-party dependency) for
+the three result shapes the library produces: (x, y) series, tagged
+rows (dictionaries), and sweep results.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["write_series_csv", "write_rows_csv", "write_sweep_csv"]
+
+
+def write_series_csv(
+    path: str | Path,
+    x: Sequence,
+    y: Sequence,
+    x_name: str = "x",
+    y_name: str = "y",
+) -> Path:
+    """Write an (x, y) series (e.g. a histogram) as two-column CSV."""
+    x = list(x)
+    y = list(y)
+    if len(x) != len(y):
+        raise ValueError(f"{len(x)} x values for {len(y)} y values")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_name, y_name])
+        for xi, yi in zip(x, y):
+            writer.writerow([xi, float(yi) if isinstance(yi, np.floating) else yi])
+    return path
+
+
+def write_rows_csv(path: str | Path, rows: Iterable[dict]) -> Path:
+    """Write dictionaries with a shared key set as CSV.
+
+    The header is the union of keys over all rows, in first-seen order;
+    missing values are left empty.
+    """
+    rows = list(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in header:
+                header.append(key)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=header, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def write_sweep_csv(path: str | Path, results: Iterable) -> Path:
+    """Write :class:`~repro.core.experiment.ExperimentResult` objects as CSV."""
+    return write_rows_csv(path, (result.as_row() for result in results))

@@ -1,0 +1,118 @@
+"""Persistence for datasets and experiment results.
+
+Everything is stored as compressed ``.npz`` archives so that generated
+telemetry and long sweep results can be cached between runs.  The format
+is deliberately simple and self-describing: one archive per object, with
+array entries named after the :class:`~repro.data.dataset.Dataset` fields
+plus small metadata arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset, SectorGeography
+from repro.data.tensor import KPITensor, TimeAxis
+
+__all__ = ["save_dataset", "load_dataset", "save_result_table", "load_result_table"]
+
+_OPTIONAL_FIELDS = (
+    "score_hourly",
+    "score_daily",
+    "score_weekly",
+    "labels_hourly",
+    "labels_daily",
+    "labels_weekly",
+)
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> Path:
+    """Serialise *dataset* to a compressed npz archive at *path*.
+
+    Returns the written path (with ``.npz`` suffix appended if absent).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "kpi_names": dataset.kpis.kpi_names,
+        "start_weekday": dataset.time_axis.start_weekday,
+        "start_hour": dataset.time_axis.start_hour,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "kpi_values": dataset.kpis.values,
+        "kpi_missing": dataset.kpis.missing,
+        "positions_km": dataset.geography.positions_km,
+        "tower_ids": dataset.geography.tower_ids,
+        "land_use": dataset.geography.land_use,
+        "calendar": dataset.calendar,
+        "meta_json": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    }
+    for name in _OPTIONAL_FIELDS:
+        value = getattr(dataset, name)
+        if value is not None:
+            arrays[name] = value
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+        n_hours = archive["kpi_values"].shape[1]
+        tensor = KPITensor(
+            values=archive["kpi_values"],
+            missing=archive["kpi_missing"],
+            kpi_names=list(meta["kpi_names"]),
+            time_axis=TimeAxis(
+                n_hours=n_hours,
+                start_weekday=int(meta["start_weekday"]),
+                start_hour=int(meta["start_hour"]),
+            ),
+        )
+        geography = SectorGeography(
+            positions_km=archive["positions_km"],
+            tower_ids=archive["tower_ids"],
+            land_use=archive["land_use"],
+        )
+        optional = {
+            name: archive[name] for name in _OPTIONAL_FIELDS if name in archive.files
+        }
+        return Dataset(
+            kpis=tensor,
+            geography=geography,
+            calendar=archive["calendar"],
+            **optional,
+        )
+
+
+def save_result_table(rows: list[dict], path: str | Path) -> Path:
+    """Persist a list of flat result dictionaries as JSON lines.
+
+    Experiment sweeps (paper Table III) produce one row per
+    ``(model, t, h, w)`` combination.  JSON lines keeps them diffable and
+    streamable.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def load_result_table(path: str | Path) -> list[dict]:
+    """Load rows previously written by :func:`save_result_table`."""
+    rows: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

@@ -1,0 +1,25 @@
+"""Missing-value handling pipeline (paper Sec. II-C).
+
+Two stages:
+
+1. :mod:`repro.imputation.filtering` — discard sectors with more than
+   50 % of their values missing in any week;
+2. :mod:`repro.imputation.dae` — impute remaining gaps with a stacked
+   denoising autoencoder trained on weekly slices.
+
+:mod:`repro.imputation.simple` provides forward-fill and per-KPI-mean
+imputers used as comparison points by the imputation ablation bench.
+"""
+
+from repro.imputation.dae import DAEImputer, DAEImputerConfig
+from repro.imputation.filtering import filter_sectors, sector_filter_mask
+from repro.imputation.simple import ForwardFillImputer, MeanImputer
+
+__all__ = [
+    "DAEImputer",
+    "DAEImputerConfig",
+    "ForwardFillImputer",
+    "MeanImputer",
+    "filter_sectors",
+    "sector_filter_mask",
+]

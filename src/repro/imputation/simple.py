@@ -1,0 +1,65 @@
+"""Simple imputation baselines.
+
+Used by the imputation ablation bench to quantify what the denoising
+autoencoder buys over trivial strategies: forward fill in time, and a
+per-KPI global mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.tensor import KPITensor
+
+__all__ = ["ForwardFillImputer", "MeanImputer"]
+
+
+class ForwardFillImputer:
+    """Replace each missing hour by the most recent observed value.
+
+    Leading gaps are backward-filled; all-missing series fall back to 0.
+    Stateless (``fit`` is a no-op kept for interface symmetry).
+    """
+
+    def fit(self, kpis: KPITensor) -> "ForwardFillImputer":
+        return self
+
+    def transform(self, kpis: KPITensor) -> KPITensor:
+        return KPITensor(
+            values=kpis.forward_filled(),
+            missing=np.zeros_like(kpis.missing),
+            kpi_names=kpis.kpi_names,
+            time_axis=kpis.time_axis,
+        )
+
+    def fit_transform(self, kpis: KPITensor) -> KPITensor:
+        return self.fit(kpis).transform(kpis)
+
+
+class MeanImputer:
+    """Replace missing entries by the per-KPI mean over observed values."""
+
+    def __init__(self) -> None:
+        self._mean: np.ndarray | None = None
+
+    def fit(self, kpis: KPITensor) -> "MeanImputer":
+        values = np.where(kpis.missing, np.nan, kpis.values)
+        mean = np.nanmean(values.reshape(-1, kpis.n_kpis), axis=0)
+        self._mean = np.nan_to_num(mean, nan=0.0)
+        return self
+
+    def transform(self, kpis: KPITensor) -> KPITensor:
+        if self._mean is None:
+            raise RuntimeError("imputer is not fitted; call fit() first")
+        values = kpis.values.copy()
+        fill = np.broadcast_to(self._mean, values.shape)
+        values[kpis.missing] = fill[kpis.missing]
+        return KPITensor(
+            values=values,
+            missing=np.zeros_like(kpis.missing),
+            kpi_names=kpis.kpi_names,
+            time_axis=kpis.time_axis,
+        )
+
+    def fit_transform(self, kpis: KPITensor) -> KPITensor:
+        return self.fit(kpis).transform(kpis)

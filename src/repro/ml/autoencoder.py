@@ -1,0 +1,218 @@
+"""Stacked denoising autoencoder in pure numpy.
+
+The paper imputes missing KPI values with a stacked denoising
+autoencoder (Sec. II-C): a four-layer dense encoder whose layers halve
+their input size, a symmetric decoder, parametric rectified linear units
+(PReLU) as activations, RMSprop training, and a mean-squared-error loss
+computed only on the originally non-missing values.
+
+This module implements the network and its backward pass from first
+principles.  The training protocol around it (weekly slices,
+forward-fill corruption, z-normalisation) lives in
+:mod:`repro.imputation.dae`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.optim import Optimizer, RMSProp
+from repro.ml.rng import ensure_rng
+
+__all__ = ["DenoisingAutoencoder"]
+
+
+@dataclass
+class _DenseLayer:
+    """Fully connected layer with a PReLU activation.
+
+    Parameters are ``weight`` (in x out), ``bias`` (out,), and the PReLU
+    negative-slope vector ``alpha`` (out,).  The final decoder layer is
+    linear (``linear=True``) so reconstructions are unbounded.
+    """
+
+    weight: np.ndarray
+    bias: np.ndarray
+    alpha: np.ndarray
+    linear: bool = False
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, tuple]:
+        pre = x @ self.weight + self.bias
+        if self.linear:
+            return pre, (x, pre)
+        negative = pre < 0
+        out = np.where(negative, self.alpha * pre, pre)
+        return out, (x, pre)
+
+    def backward(
+        self, grad_out: np.ndarray, cache: tuple
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return (grad_input, grad_weight, grad_bias, grad_alpha)."""
+        x, pre = cache
+        if self.linear:
+            grad_pre = grad_out
+            grad_alpha = np.zeros_like(self.alpha)
+        else:
+            negative = pre < 0
+            grad_pre = np.where(negative, self.alpha * grad_out, grad_out)
+            grad_alpha = np.where(negative, pre * grad_out, 0.0).sum(axis=0)
+        grad_weight = x.T @ grad_pre
+        grad_bias = grad_pre.sum(axis=0)
+        grad_input = grad_pre @ self.weight.T
+        return grad_input, grad_weight, grad_bias, grad_alpha
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias, self.alpha]
+
+
+class DenoisingAutoencoder:
+    """Dense autoencoder with PReLU units and masked MSE loss.
+
+    Parameters
+    ----------
+    input_dim:
+        Size of one (flattened) input vector.
+    n_encoder_layers:
+        Depth of the encoder; each layer halves the width of its input
+        (paper: 4).  The decoder mirrors the encoder.
+    optimizer:
+        Any :class:`repro.ml.optim.Optimizer`; defaults to the paper's
+        RMSprop(lr=1e-4, rho=0.99).
+    random_state:
+        Seed or Generator controlling the weight initialisation.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> dae = DenoisingAutoencoder(input_dim=32, n_encoder_layers=2, random_state=0)
+    >>> x = np.random.default_rng(0).normal(size=(16, 32))
+    >>> loss = dae.train_batch(x, x, np.ones_like(x, dtype=bool))
+    >>> dae.reconstruct(x).shape
+    (16, 32)
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        n_encoder_layers: int = 4,
+        optimizer: Optimizer | None = None,
+        prelu_init: float = 0.25,
+        clip_norm: float | None = 5.0,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        if input_dim <= 0:
+            raise ValueError(f"input_dim must be positive, got {input_dim}")
+        if n_encoder_layers <= 0:
+            raise ValueError(f"n_encoder_layers must be positive, got {n_encoder_layers}")
+        if input_dim >> n_encoder_layers == 0:
+            raise ValueError(
+                f"input_dim={input_dim} too small for {n_encoder_layers} halving layers"
+            )
+        self.input_dim = input_dim
+        self.n_encoder_layers = n_encoder_layers
+        self.optimizer = optimizer or RMSProp(learning_rate=1e-4, rho=0.99)
+        self.clip_norm = clip_norm
+        rng = ensure_rng(random_state)
+
+        widths = [input_dim]
+        for _ in range(n_encoder_layers):
+            widths.append(max(widths[-1] // 2, 1))
+        decoder_widths = widths[::-1]
+
+        self.layers: list[_DenseLayer] = []
+        encoder_dims = list(zip(widths[:-1], widths[1:]))
+        decoder_dims = list(zip(decoder_widths[:-1], decoder_widths[1:]))
+        all_dims = encoder_dims + decoder_dims
+        for position, (fan_in, fan_out) in enumerate(all_dims):
+            scale = np.sqrt(2.0 / fan_in)  # He init, appropriate for ReLU-family
+            self.layers.append(
+                _DenseLayer(
+                    weight=rng.normal(scale=scale, size=(fan_in, fan_out)),
+                    bias=np.zeros(fan_out),
+                    alpha=np.full(fan_out, prelu_init),
+                    linear=position == len(all_dims) - 1,
+                )
+            )
+
+    @property
+    def bottleneck_dim(self) -> int:
+        """Width of the innermost (code) layer."""
+        return self.layers[self.n_encoder_layers - 1].weight.shape[1]
+
+    # --------------------------------------------------------------- passes
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, list[tuple]]:
+        caches: list[tuple] = []
+        out = x
+        for layer in self.layers:
+            out, cache = layer.forward(out)
+            caches.append(cache)
+        return out, caches
+
+    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+        """Reconstruction of (possibly corrupted) inputs, shape-preserving."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(f"x must be (batch, {self.input_dim}), got {x.shape}")
+        out, _ = self._forward(x)
+        return out
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Bottleneck code of the inputs."""
+        x = np.asarray(x, dtype=np.float64)
+        out = x
+        for layer in self.layers[: self.n_encoder_layers]:
+            out, _ = layer.forward(out)
+        return out
+
+    def train_batch(
+        self,
+        corrupted: np.ndarray,
+        target: np.ndarray,
+        loss_mask: np.ndarray,
+    ) -> float:
+        """One optimisation step on a batch; returns the masked MSE loss.
+
+        Parameters
+        ----------
+        corrupted:
+            Network input: the corrupted version of the signal (missing
+            values substituted, extra corruption applied).
+        target:
+            The original, uncorrupted signal.
+        loss_mask:
+            Boolean array marking the *originally non-missing* entries;
+            only those contribute to the loss (paper Sec. II-C).
+        """
+        corrupted = np.asarray(corrupted, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        loss_mask = np.asarray(loss_mask, dtype=bool)
+        if corrupted.shape != target.shape or corrupted.shape != loss_mask.shape:
+            raise ValueError("corrupted, target, and loss_mask must share a shape")
+        n_valid = int(loss_mask.sum())
+        if n_valid == 0:
+            return 0.0
+
+        output, caches = self._forward(corrupted)
+        residual = np.where(loss_mask, output - target, 0.0)
+        loss = float((residual * residual).sum() / n_valid)
+        grad = 2.0 * residual / n_valid
+
+        grads: list[np.ndarray] = []
+        for layer, cache in zip(reversed(self.layers), reversed(caches)):
+            grad, grad_w, grad_b, grad_a = layer.backward(grad, cache)
+            grads.extend([grad_a, grad_b, grad_w])
+        grads.reverse()  # now ordered as params() concatenation below
+
+        if self.clip_norm is not None:
+            total_norm = np.sqrt(sum(float((g * g).sum()) for g in grads))
+            if total_norm > self.clip_norm:
+                scale = self.clip_norm / total_norm
+                grads = [g * scale for g in grads]
+
+        params: list[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.params())
+        self.optimizer.step(params, grads)
+        return loss

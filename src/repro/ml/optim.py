@@ -1,0 +1,79 @@
+"""First-order optimisers for the numpy neural network.
+
+The paper trains its denoising autoencoder with RMSprop (learning rate
+1e-4, smoothing factor 0.99).  :class:`RMSProp` implements exactly that
+update; :class:`SGD` is provided as a plain baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "RMSProp", "SGD"]
+
+
+class Optimizer:
+    """Base class: updates a flat list of parameter arrays in place."""
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent, optionally with momentum."""
+
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        if len(params) != len(grads):
+            raise ValueError("params and grads length mismatch")
+        for param, grad, velocity in zip(params, grads, self._velocity):
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            param += velocity
+
+
+class RMSProp(Optimizer):
+    """RMSprop: divide the gradient by a running average of its magnitude.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size (paper: 1e-4).
+    rho:
+        Smoothing factor of the squared-gradient running average
+        (paper: 0.99).
+    epsilon:
+        Numerical stabiliser in the denominator.
+    """
+
+    def __init__(
+        self, learning_rate: float = 1e-4, rho: float = 0.99, epsilon: float = 1e-8
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 < rho < 1.0:
+            raise ValueError(f"rho must be in (0, 1), got {rho}")
+        self.learning_rate = learning_rate
+        self.rho = rho
+        self.epsilon = epsilon
+        self._mean_square: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._mean_square is None:
+            self._mean_square = [np.zeros_like(p) for p in params]
+        if len(params) != len(grads):
+            raise ValueError("params and grads length mismatch")
+        for param, grad, mean_square in zip(params, grads, self._mean_square):
+            mean_square *= self.rho
+            mean_square += (1.0 - self.rho) * grad * grad
+            param -= self.learning_rate * grad / (np.sqrt(mean_square) + self.epsilon)

@@ -1,0 +1,36 @@
+"""Seeded random-generator helpers.
+
+Every stochastic component in the library takes an explicit
+``numpy.random.Generator``; these helpers make deriving independent
+child generators from a single seed ergonomic and reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(
+    seed_or_rng: int | np.random.Generator | None,
+) -> np.random.Generator:
+    """Normalise a seed / generator / None into a Generator instance."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_rngs(
+    seed_or_rng: int | np.random.Generator | None, count: int
+) -> list[np.random.Generator]:
+    """Derive *count* statistically independent child generators.
+
+    The children are seeded from draws of the parent, so a fixed parent
+    seed fully determines every child stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(seed_or_rng)
+    seeds = parent.integers(0, 2**63, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

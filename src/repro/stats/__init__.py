@@ -1,0 +1,43 @@
+"""Statistical utilities shared across the library.
+
+This subpackage implements the generic statistical tooling the paper
+relies on, independently of the telemetry domain:
+
+* :mod:`repro.stats.ks` — two-sample Kolmogorov–Smirnov test used in
+  the temporal-stability analysis (paper Sec. V-A).
+* :mod:`repro.stats.correlation` — vectorised, NaN-aware Pearson
+  correlation used by the spatial dynamics analysis (paper Sec. III).
+* :mod:`repro.stats.buckets` — logarithmically spaced bucketing of
+  distances (paper Fig. 8).
+* :mod:`repro.stats.runs` — run-length encoding of binary sequences
+  used for the "consecutive hours/days as hot spot" histograms
+  (paper Fig. 7).
+"""
+
+from repro.stats.buckets import LogBuckets, bucket_indices
+from repro.stats.correlation import (
+    pairwise_pearson,
+    pearson,
+    pearson_matrix_to_targets,
+)
+from repro.stats.ks import KSResult, ks_two_sample
+from repro.stats.runs import (
+    run_lengths,
+    run_length_histogram,
+    runs_decode,
+    runs_encode,
+)
+
+__all__ = [
+    "KSResult",
+    "LogBuckets",
+    "bucket_indices",
+    "ks_two_sample",
+    "pairwise_pearson",
+    "pearson",
+    "pearson_matrix_to_targets",
+    "run_length_histogram",
+    "run_lengths",
+    "runs_decode",
+    "runs_encode",
+]

@@ -1,0 +1,103 @@
+"""Pearson correlation helpers.
+
+The spatial dynamics analysis (paper Sec. III, Fig. 8) computes Pearson
+correlation coefficients between the hourly hot spot label time series of
+hundreds of sector pairs per sector.  The functions here are vectorised so
+that one call correlates a single reference series against a whole matrix
+of candidate series, which is the shape that analysis needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pearson", "pairwise_pearson", "pearson_matrix_to_targets"]
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation between two one-dimensional series.
+
+    Returns 0.0 when either series is constant (the correlation is then
+    undefined; 0 is the conventional "no linear relationship" fallback
+    used throughout the spatial analysis, where never-hot sectors produce
+    constant label series).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.size != y.size:
+        raise ValueError(f"series length mismatch: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ValueError("need at least two observations")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt((xc * xc).sum() * (yc * yc).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((xc * yc).sum() / denom)
+
+
+def pairwise_pearson(reference: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Correlate one reference series against many candidate series.
+
+    Parameters
+    ----------
+    reference:
+        Shape ``(m,)`` series.
+    candidates:
+        Shape ``(k, m)`` matrix of candidate series, one per row.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(k,)`` array of Pearson coefficients; rows where either
+        side is constant yield 0.0.
+    """
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    cand = np.asarray(candidates, dtype=np.float64)
+    if cand.ndim != 2:
+        raise ValueError(f"candidates must be 2-D, got shape {cand.shape}")
+    if cand.shape[1] != ref.size:
+        raise ValueError(
+            f"length mismatch: reference has {ref.size}, candidates have {cand.shape[1]}"
+        )
+    ref_c = ref - ref.mean()
+    cand_c = cand - cand.mean(axis=1, keepdims=True)
+    ref_norm = np.sqrt((ref_c * ref_c).sum())
+    cand_norm = np.sqrt((cand_c * cand_c).sum(axis=1))
+    denom = ref_norm * cand_norm
+    numer = cand_c @ ref_c
+    out = np.zeros(cand.shape[0], dtype=np.float64)
+    valid = denom > 0.0
+    out[valid] = numer[valid] / denom[valid]
+    return out
+
+
+def pearson_matrix_to_targets(series: np.ndarray) -> np.ndarray:
+    """Full pairwise Pearson correlation matrix between the rows of *series*.
+
+    Constant rows correlate 0.0 with everything (including themselves),
+    matching the convention of :func:`pairwise_pearson`.
+
+    Parameters
+    ----------
+    series:
+        Shape ``(n, m)``: n series of length m.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, n)`` symmetric correlation matrix.
+    """
+    mat = np.asarray(series, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValueError(f"series must be 2-D, got shape {mat.shape}")
+    centered = mat - mat.mean(axis=1, keepdims=True)
+    norms = np.sqrt((centered * centered).sum(axis=1))
+    safe = norms.copy()
+    safe[safe == 0.0] = 1.0
+    normalised = centered / safe[:, None]
+    corr = normalised @ normalised.T
+    constant = norms == 0.0
+    corr[constant, :] = 0.0
+    corr[:, constant] = 0.0
+    return corr

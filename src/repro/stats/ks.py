@@ -1,0 +1,142 @@
+"""Two-sample Kolmogorov–Smirnov test.
+
+The paper (Sec. V-A) assesses temporal stability of forecasting results by
+splitting the evaluated days ``t`` into two halves and comparing the two
+empirical distributions of average precision values with a two-sample
+Kolmogorov–Smirnov (KS) test.  The null hypothesis is that both samples
+come from the same continuous distribution; the paper reports that no
+p-value falls below 0.01 and only 1.1 % fall below 0.05.
+
+This module implements the two-sided two-sample KS test from first
+principles.  The p-value uses the classical asymptotic Kolmogorov
+distribution with the Stephens effective-sample-size correction, which is
+the same approximation scipy uses in ``mode="asymp"``.  The test suite
+cross-validates both the statistic and the p-value against
+``scipy.stats.ks_2samp``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KSResult", "ks_two_sample", "kolmogorov_sf"]
+
+
+@dataclass(frozen=True)
+class KSResult:
+    """Outcome of a two-sample Kolmogorov–Smirnov test.
+
+    Attributes
+    ----------
+    statistic:
+        The KS statistic ``D``: the supremum of the absolute difference
+        between the two empirical cumulative distribution functions.
+        Always in ``[0, 1]``.
+    pvalue:
+        Asymptotic two-sided p-value for the null hypothesis that both
+        samples are drawn from the same distribution.
+    n1, n2:
+        Sizes of the two samples.
+    """
+
+    statistic: float
+    pvalue: float
+    n1: int
+    n2: int
+
+    def rejects_null(self, alpha: float = 0.05) -> bool:
+        """Return True if the null hypothesis is rejected at level *alpha*."""
+        return self.pvalue < alpha
+
+
+def kolmogorov_sf(x: float, terms: int = 101) -> float:
+    """Survival function of the Kolmogorov distribution.
+
+    ``Q(x) = 2 * sum_{k=1..inf} (-1)^(k-1) * exp(-2 k^2 x^2)``
+
+    Parameters
+    ----------
+    x:
+        Evaluation point; must be non-negative.
+    terms:
+        Number of series terms.  The series converges extremely fast for
+        ``x > 0.5``; 101 terms is far more than enough for double
+        precision over the whole useful range.
+
+    Returns
+    -------
+    float
+        ``P(K > x)``, clipped to ``[0, 1]``.
+    """
+    if x < 0:
+        raise ValueError(f"x must be non-negative, got {x}")
+    if x == 0:
+        return 1.0
+    # For very small x the alternating series needs many terms; use the
+    # Jacobi-theta dual form which converges quickly there instead.
+    if x < 0.3:
+        # Q(x) = 1 - (sqrt(2*pi)/x) * sum exp(-(2k-1)^2 pi^2 / (8 x^2))
+        total = 0.0
+        for k in range(1, terms):
+            total += math.exp(-((2 * k - 1) ** 2) * math.pi**2 / (8.0 * x * x))
+        return float(np.clip(1.0 - math.sqrt(2.0 * math.pi) / x * total, 0.0, 1.0))
+    total = 0.0
+    for k in range(1, terms):
+        term = math.exp(-2.0 * k * k * x * x)
+        total += term if k % 2 == 1 else -term
+        if term < 1e-18:
+            break
+    return float(np.clip(2.0 * total, 0.0, 1.0))
+
+
+def ks_two_sample(sample1: np.ndarray, sample2: np.ndarray) -> KSResult:
+    """Two-sided two-sample Kolmogorov–Smirnov test.
+
+    Parameters
+    ----------
+    sample1, sample2:
+        One-dimensional arrays of observations.  NaNs are not allowed
+        (they have no place on an empirical CDF); pass cleaned data.
+
+    Returns
+    -------
+    KSResult
+        Statistic, asymptotic p-value, and the two sample sizes.
+
+    Raises
+    ------
+    ValueError
+        If either sample is empty or contains NaN.
+
+    Examples
+    --------
+    >>> rng = np.random.default_rng(0)
+    >>> a, b = rng.normal(size=200), rng.normal(size=200)
+    >>> result = ks_two_sample(a, b)
+    >>> result.rejects_null(0.01)
+    False
+    """
+    x = np.asarray(sample1, dtype=np.float64).ravel()
+    y = np.asarray(sample2, dtype=np.float64).ravel()
+    if x.size == 0 or y.size == 0:
+        raise ValueError("both samples must be non-empty")
+    if np.isnan(x).any() or np.isnan(y).any():
+        raise ValueError("samples must not contain NaN")
+
+    n1, n2 = x.size, y.size
+    x = np.sort(x)
+    y = np.sort(y)
+    pooled = np.concatenate([x, y])
+    # Empirical CDFs of both samples evaluated at every pooled point.
+    cdf1 = np.searchsorted(x, pooled, side="right") / n1
+    cdf2 = np.searchsorted(y, pooled, side="right") / n2
+    statistic = float(np.max(np.abs(cdf1 - cdf2)))
+
+    effective_n = n1 * n2 / (n1 + n2)
+    # Plain asymptotic argument sqrt(m*n/(m+n)) * D, matching
+    # scipy.stats.ks_2samp(mode="asymp").
+    pvalue = kolmogorov_sf(math.sqrt(effective_n) * statistic)
+    return KSResult(statistic=statistic, pvalue=pvalue, n1=n1, n2=n2)

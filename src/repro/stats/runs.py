@@ -1,0 +1,84 @@
+"""Run-length utilities for binary hot spot sequences.
+
+The temporal dynamics analysis (paper Fig. 7) counts *consecutive* hours
+and days a sector stays a hot spot.  That is a run-length computation over
+binary label sequences.  This module implements run-length encoding,
+decoding, and histogramming of the one-runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["runs_encode", "runs_decode", "run_lengths", "run_length_histogram"]
+
+
+def runs_encode(binary: np.ndarray) -> list[tuple[int, int]]:
+    """Run-length encode a one-dimensional binary array.
+
+    Returns a list of ``(value, length)`` pairs whose expansion
+    reproduces the input.  Empty input yields an empty list.
+    """
+    arr = np.asarray(binary).ravel().astype(np.int8)
+    if arr.size == 0:
+        return []
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError("input must be binary (0/1)")
+    change_points = np.flatnonzero(np.diff(arr)) + 1
+    starts = np.concatenate([[0], change_points])
+    ends = np.concatenate([change_points, [arr.size]])
+    return [(int(arr[s]), int(e - s)) for s, e in zip(starts, ends)]
+
+
+def runs_decode(runs: list[tuple[int, int]]) -> np.ndarray:
+    """Expand ``(value, length)`` pairs back into a binary array."""
+    if not runs:
+        return np.zeros(0, dtype=np.int8)
+    values, lengths = zip(*runs)
+    for value, length in runs:
+        if value not in (0, 1):
+            raise ValueError(f"run value must be 0 or 1, got {value}")
+        if length <= 0:
+            raise ValueError(f"run length must be positive, got {length}")
+    return np.repeat(np.asarray(values, dtype=np.int8), lengths)
+
+
+def run_lengths(binary: np.ndarray, value: int = 1) -> np.ndarray:
+    """Lengths of all maximal runs of *value* in a binary array."""
+    return np.asarray(
+        [length for run_value, length in runs_encode(binary) if run_value == value],
+        dtype=np.int64,
+    )
+
+
+def run_length_histogram(
+    sequences: np.ndarray, max_length: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalised histogram of one-run lengths across many sequences.
+
+    Parameters
+    ----------
+    sequences:
+        Shape ``(n, m)`` matrix of binary sequences, one per row (e.g.
+        the hot spot labels ``Y`` with sectors as rows), or a single
+        one-dimensional sequence.
+    max_length:
+        Upper bound for the histogram support.  Defaults to the longest
+        observed run.
+
+    Returns
+    -------
+    (lengths, relative_counts):
+        ``lengths`` is ``[1, 2, ..., L]``; ``relative_counts`` sums to 1
+        (both empty if no runs exist).
+    """
+    mat = np.atleast_2d(np.asarray(sequences))
+    all_lengths: list[np.ndarray] = [run_lengths(row) for row in mat]
+    flat = np.concatenate(all_lengths) if all_lengths else np.zeros(0, dtype=np.int64)
+    if flat.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+    longest = int(flat.max()) if max_length is None else int(max_length)
+    counts = np.bincount(np.minimum(flat, longest), minlength=longest + 1)[1:]
+    total = counts.sum()
+    relative = counts / total if total > 0 else counts.astype(np.float64)
+    return np.arange(1, longest + 1, dtype=np.int64), relative

@@ -1,0 +1,46 @@
+"""Synthetic cellular telemetry substrate.
+
+The paper evaluates on proprietary operator telemetry: 21 hourly KPIs for
+tens of thousands of 3G sectors over 18 weeks.  This subpackage generates
+a synthetic equivalent that implants the structural mechanisms the
+paper's analyses and forecasts rely on:
+
+* land-use dependent diurnal and weekly load profiles (regular hot spot
+  patterns: workday, weekend, single-day);
+* non-regular events: hardware failures, congestion storms, interference
+  episodes, and special-day demand spikes (paper Fig. 1B);
+* *emerging persistent degradations* with a multi-day precursor ramp in
+  usage/congestion KPIs — the mechanism that makes the paper's
+  "become a hot spot" target learnable from KPIs at moderate horizons;
+* same-tower fault sharing and land-use twins at arbitrary distance
+  (the spatial correlation structure of paper Fig. 8);
+* realistic missingness (point, hour-slice, and multi-hour block), plus a
+  few effectively dead sectors to exercise the >50 %-missing filter.
+
+Entry point: :class:`repro.synth.generator.TelemetryGenerator`.
+"""
+
+from repro.synth.calendar_info import CalendarConfig, build_calendar, default_holidays
+from repro.synth.config import EventConfig, GeneratorConfig, MissingnessConfig
+from repro.synth.generator import TelemetryGenerator, generate_dataset
+from repro.synth.geography import LAND_USE_NAMES, LandUse, NetworkGeographyBuilder
+from repro.synth.kpis import KPI_CLASSES, KPI_NAMES, KPICatalog
+from repro.synth.profiles import LoadProfileLibrary
+
+__all__ = [
+    "CalendarConfig",
+    "EventConfig",
+    "GeneratorConfig",
+    "KPICatalog",
+    "KPI_CLASSES",
+    "KPI_NAMES",
+    "LAND_USE_NAMES",
+    "LandUse",
+    "LoadProfileLibrary",
+    "MissingnessConfig",
+    "NetworkGeographyBuilder",
+    "TelemetryGenerator",
+    "build_calendar",
+    "default_holidays",
+    "generate_dataset",
+]

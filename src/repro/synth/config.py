@@ -1,0 +1,171 @@
+"""Configuration dataclasses for the telemetry generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EventConfig", "MissingnessConfig", "GeneratorConfig"]
+
+
+@dataclass(frozen=True)
+class EventConfig:
+    """Rates and magnitudes of non-regular network events.
+
+    All per-day probabilities are per sector unless stated otherwise.
+
+    Attributes
+    ----------
+    failure_rate_per_tower_day:
+        Probability that a tower suffers a hardware failure on a given
+        day.  Failures hit *all* sectors of the tower (this is what makes
+        same-tower label series correlate, paper Fig. 8 distance 0) and
+        last a heavy-tailed number of hours.
+    failure_duration_mean_hours:
+        Mean of the (geometric) failure duration in hours.
+    congestion_storm_rate_per_day:
+        Probability of a one-day localised demand surge on a sector
+        (concerts, incidents, popular shopping days — paper Fig. 1B).
+    storm_gain:
+        Multiplicative load amplification at the peak of a storm.
+    interference_rate_per_day:
+        Probability that an external interference episode starts on a
+        sector on a given day.
+    interference_duration_mean_days:
+        Mean duration of an interference episode in days.
+    onset_rate_per_sector:
+        Expected number of *emerging persistent degradations* per sector
+        over the whole horizon.  Each onset turns a previously healthy
+        sector into a persistent hot spot for one to a few weeks.
+    onset_ramp_days:
+        Length of the precursor ramp: usage/congestion KPIs rise during
+        the ``onset_ramp_days`` days *before* the score crosses the hot
+        spot threshold.  This is the causal signal that lets tree models
+        forecast "become a hot spot" at horizons up to roughly
+        ``onset_ramp_days + onset_hold_days``.
+    onset_hold_days_mean:
+        Mean number of days the degraded state persists after onset.
+    """
+
+    failure_rate_per_tower_day: float = 0.004
+    failure_duration_mean_hours: float = 14.0
+    congestion_storm_rate_per_day: float = 0.006
+    storm_gain: float = 2.4
+    interference_rate_per_day: float = 0.003
+    interference_duration_mean_days: float = 2.0
+    onset_rate_per_sector: float = 0.8
+    onset_ramp_days: int = 14
+    onset_hold_days_mean: float = 9.0
+
+    def __post_init__(self) -> None:
+        rates = {
+            "failure_rate_per_tower_day": self.failure_rate_per_tower_day,
+            "congestion_storm_rate_per_day": self.congestion_storm_rate_per_day,
+            "interference_rate_per_day": self.interference_rate_per_day,
+        }
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {rate}")
+        if self.onset_rate_per_sector < 0:
+            raise ValueError("onset_rate_per_sector must be non-negative")
+        if self.onset_ramp_days < 1:
+            raise ValueError("onset_ramp_days must be >= 1")
+        if self.storm_gain < 1.0:
+            raise ValueError("storm_gain must be >= 1 (a storm adds demand)")
+
+
+@dataclass(frozen=True)
+class MissingnessConfig:
+    """Missing-value injection rates (paper Sec. II-C).
+
+    The paper observes three missingness shapes: isolated entries
+    ``K[i, j, k]``, whole-hour slices ``K[i, j, :]`` (site offline or
+    backbone congested for that hour), and multi-hour blocks
+    ``K[i, j:j+t, :]`` (collection outage).  After sector filtering the
+    paper is left with ~4 % missing values; the defaults land in the
+    same regime.
+    """
+
+    point_rate: float = 0.01
+    hour_slice_rate: float = 0.004
+    block_rate_per_week: float = 0.03
+    block_duration_mean_hours: float = 30.0
+    dead_sector_fraction: float = 0.1
+    dead_sector_min_weeks: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("point_rate", "hour_slice_rate", "dead_sector_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.block_rate_per_week < 0:
+            raise ValueError("block_rate_per_week must be non-negative")
+        if self.dead_sector_min_weeks < 1:
+            raise ValueError("dead_sector_min_weeks must be >= 1")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Top-level knobs of the synthetic telemetry generator.
+
+    The defaults produce a laptop-scale network that is structurally
+    faithful to the paper's data set: 18 weeks of hourly samples starting
+    on a Monday, 21 KPI channels, towers with three sectors each,
+    clustered into cities with land-use classes.
+
+    Attributes
+    ----------
+    n_towers:
+        Number of towers; each carries ``sectors_per_tower`` sectors, so
+        the sector count is their product.
+    sectors_per_tower:
+        Sectors per tower (3 for a standard tri-sector 3G site).
+    n_weeks:
+        Number of whole weeks generated (paper: 18).
+    n_cities:
+        Number of urban clusters towers are placed around.
+    map_size_km:
+        Side of the square map; the paper's Fig. 8 distance axis tops
+        out at ~204 km, so the default map spans comparable distances.
+    chronic_hot_fraction:
+        Fraction of sectors whose baseline capacity is so tight they are
+        hot during every busy period — these create the always-hot
+        population visible in paper Figs. 3 and 6C.
+    seed:
+        Seed of the top-level random generator.  Every stochastic
+        component derives an independent child generator from it, so a
+        given seed fully determines the data set.
+    """
+
+    n_towers: int = 100
+    sectors_per_tower: int = 3
+    n_weeks: int = 18
+    n_cities: int = 4
+    map_size_km: float = 220.0
+    chronic_hot_fraction: float = 0.06
+    events: EventConfig = field(default_factory=EventConfig)
+    missingness: MissingnessConfig = field(default_factory=MissingnessConfig)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_towers <= 0:
+            raise ValueError("n_towers must be positive")
+        if self.sectors_per_tower <= 0:
+            raise ValueError("sectors_per_tower must be positive")
+        if self.n_weeks <= 0:
+            raise ValueError("n_weeks must be positive")
+        if self.n_cities <= 0:
+            raise ValueError("n_cities must be positive")
+        if not 0.0 <= self.chronic_hot_fraction < 1.0:
+            raise ValueError("chronic_hot_fraction must be in [0, 1)")
+
+    @property
+    def n_sectors(self) -> int:
+        return self.n_towers * self.sectors_per_tower
+
+    @property
+    def n_hours(self) -> int:
+        return self.n_weeks * 168
+
+    @property
+    def n_days(self) -> int:
+        return self.n_weeks * 7

@@ -1,0 +1,236 @@
+"""Non-regular event processes.
+
+The generator layers four stochastic event processes on top of the
+regular land-use load profiles.  Each process produces an hourly latent
+intensity per sector; the KPI catalog then maps latent states to
+indicator channels.
+
+* **Hardware failures** strike a whole tower for a heavy-tailed number
+  of hours, degrading accessibility/retainability KPIs of every sector
+  on the tower.  Shared failures are what correlate same-tower label
+  series (paper Fig. 8, distance-0 bucket).
+* **Congestion storms** are one-day demand surges on a single sector
+  (paper Fig. 1B: shopping-day spike near a commercial area).
+* **Interference episodes** raise noise KPIs for a few days.
+* **Emerging persistent degradations** ("onsets") turn a sector into a
+  persistent hot spot for one or more weeks, preceded by a multi-day
+  precursor ramp in usage/congestion intensity.  The ramp is the causal
+  signal behind the paper's key result: tree models forecasting
+  "become a hot spot" beat score-only baselines by >100 % at moderate
+  horizons, an advantage that vanishes once the horizon exceeds the
+  ramp's reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.tensor import HOURS_PER_DAY
+from repro.synth.config import EventConfig
+
+__all__ = ["EventIntensities", "EventSimulator"]
+
+
+@dataclass(frozen=True)
+class EventIntensities:
+    """Hourly latent intensities produced by the event processes.
+
+    All arrays have shape ``(n_sectors, n_hours)`` with values in
+    ``[0, ~1.5]``; 0 means "no event active".
+
+    Attributes
+    ----------
+    failure:
+        Hardware-fault severity (affects accessibility, retainability,
+        availability and setup-failure KPIs, and the hot spot score).
+    surge:
+        Demand-surge multiplier *excess* (0 = normal demand; 1 = demand
+        roughly doubled).
+    interference:
+        External interference level (affects noise KPIs).
+    degradation:
+        Persistent-degradation severity after an onset (1 while the
+        sector is in its degraded period).
+    precursor:
+        Precursor ramp intensity rising linearly from 0 to 1 over the
+        configured number of days *before* each onset.  Feeds only the
+        usage/congestion KPIs; the raw KPI columns see it from the first
+        ramp day, while the score only reacts in the final ramp days
+        (when the ramp gets strong enough to trip the usage thresholds),
+        so score-only baselines see a much shorter warning.
+    onset_days:
+        Boolean matrix ``(n_sectors, n_days)``; True on the first day of
+        each degraded period (ground-truth onsets, useful for tests).
+    """
+
+    failure: np.ndarray
+    surge: np.ndarray
+    interference: np.ndarray
+    degradation: np.ndarray
+    precursor: np.ndarray
+    onset_days: np.ndarray
+
+
+class EventSimulator:
+    """Simulate all non-regular event processes for a network.
+
+    Parameters
+    ----------
+    config:
+        Event rates and magnitudes.
+    rng:
+        Dedicated random generator.
+    """
+
+    def __init__(self, config: EventConfig, rng: np.random.Generator) -> None:
+        self._config = config
+        self._rng = rng
+
+    def simulate(
+        self,
+        tower_ids: np.ndarray,
+        n_hours: int,
+        onset_weights: np.ndarray | None = None,
+    ) -> EventIntensities:
+        """Run every event process.
+
+        Parameters
+        ----------
+        tower_ids:
+            Tower id per sector; failures are drawn per tower and
+            broadcast to its sectors.
+        n_hours:
+            Number of hourly samples (must be a multiple of 24).
+        onset_weights:
+            Optional per-sector multipliers on the onset probability
+            (mean ~1).  The generator passes load-derived weights so
+            that persistent degradations preferentially hit heavily
+            loaded equipment — which is what correlates pre-transition
+            scores with future transitions, as the paper observes.
+        """
+        if n_hours % HOURS_PER_DAY != 0:
+            raise ValueError(f"n_hours must be a multiple of 24, got {n_hours}")
+        tower_ids = np.asarray(tower_ids, dtype=np.int64)
+        n_sectors = tower_ids.size
+        n_days = n_hours // HOURS_PER_DAY
+        if onset_weights is not None:
+            onset_weights = np.asarray(onset_weights, dtype=np.float64)
+            if onset_weights.shape != (n_sectors,):
+                raise ValueError(
+                    f"onset_weights must be ({n_sectors},), got {onset_weights.shape}"
+                )
+
+        failure = self._simulate_failures(tower_ids, n_hours)
+        surge = self._simulate_storms(n_sectors, n_days, n_hours)
+        interference = self._simulate_interference(n_sectors, n_days, n_hours)
+        degradation, precursor, onset_days = self._simulate_onsets(
+            n_sectors, n_days, n_hours, onset_weights
+        )
+        return EventIntensities(
+            failure=failure,
+            surge=surge,
+            interference=interference,
+            degradation=degradation,
+            precursor=precursor,
+            onset_days=onset_days,
+        )
+
+    # ------------------------------------------------------------ failures
+    def _simulate_failures(self, tower_ids: np.ndarray, n_hours: int) -> np.ndarray:
+        config = self._config
+        rng = self._rng
+        n_towers = int(tower_ids.max()) + 1 if tower_ids.size else 0
+        n_days = n_hours // HOURS_PER_DAY
+        tower_failure = np.zeros((n_towers, n_hours), dtype=np.float64)
+        hourly_start_prob = config.failure_rate_per_tower_day / HOURS_PER_DAY
+        starts = rng.random((n_towers, n_hours)) < hourly_start_prob
+        duration_p = 1.0 / max(config.failure_duration_mean_hours, 1.0)
+        for tower, hour in zip(*np.nonzero(starts)):
+            duration = int(rng.geometric(duration_p))
+            severity = rng.uniform(0.7, 1.3)
+            tower_failure[tower, hour : hour + duration] = np.maximum(
+                tower_failure[tower, hour : hour + duration], severity
+            )
+        del n_days
+        return tower_failure[tower_ids]
+
+    # -------------------------------------------------------------- storms
+    def _simulate_storms(self, n_sectors: int, n_days: int, n_hours: int) -> np.ndarray:
+        config = self._config
+        rng = self._rng
+        surge = np.zeros((n_sectors, n_hours), dtype=np.float64)
+        storm_days = rng.random((n_sectors, n_days)) < config.congestion_storm_rate_per_day
+        # A storm is an afternoon-centred bump lasting most of the day.
+        hours = np.arange(HOURS_PER_DAY, dtype=np.float64)
+        for sector, day in zip(*np.nonzero(storm_days)):
+            centre = rng.uniform(12.0, 20.0)
+            width = rng.uniform(2.0, 4.0)
+            gain = (config.storm_gain - 1.0) * rng.uniform(0.6, 1.4)
+            bump = gain * np.exp(-0.5 * ((hours - centre) / width) ** 2)
+            lo = day * HOURS_PER_DAY
+            surge[sector, lo : lo + HOURS_PER_DAY] += bump
+        return surge
+
+    # -------------------------------------------------------- interference
+    def _simulate_interference(
+        self, n_sectors: int, n_days: int, n_hours: int
+    ) -> np.ndarray:
+        config = self._config
+        rng = self._rng
+        interference = np.zeros((n_sectors, n_hours), dtype=np.float64)
+        starts = rng.random((n_sectors, n_days)) < config.interference_rate_per_day
+        duration_p = 1.0 / max(config.interference_duration_mean_days, 1.0)
+        for sector, day in zip(*np.nonzero(starts)):
+            duration_days = int(rng.geometric(duration_p))
+            level = rng.uniform(0.5, 1.2)
+            lo = day * HOURS_PER_DAY
+            hi = min((day + duration_days) * HOURS_PER_DAY, n_hours)
+            interference[sector, lo:hi] = np.maximum(interference[sector, lo:hi], level)
+        return interference
+
+    # --------------------------------------------------------------- onsets
+    def _simulate_onsets(
+        self,
+        n_sectors: int,
+        n_days: int,
+        n_hours: int,
+        onset_weights: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        config = self._config
+        rng = self._rng
+        degradation = np.zeros((n_sectors, n_hours), dtype=np.float64)
+        precursor = np.zeros((n_sectors, n_hours), dtype=np.float64)
+        onset_days = np.zeros((n_sectors, n_days), dtype=bool)
+
+        daily_rate = config.onset_rate_per_sector / max(n_days, 1)
+        per_sector_rate = np.full(n_sectors, daily_rate)
+        if onset_weights is not None:
+            per_sector_rate = daily_rate * np.clip(onset_weights, 0.1, 4.0)
+        candidate = rng.random((n_sectors, n_days)) < per_sector_rate[:, None]
+        hold_p = 1.0 / max(config.onset_hold_days_mean, 1.0)
+        ramp_days = max(int(config.onset_ramp_days), 1)
+        for sector, day in zip(*np.nonzero(candidate)):
+            # Skip onsets that would overlap an existing degraded period
+            # so each onset is a clean healthy→hot transition.
+            day_start_hour = day * HOURS_PER_DAY
+            if degradation[sector, max(day_start_hour - 1, 0)] > 0:
+                continue
+            hold_days = max(int(rng.geometric(hold_p)), 3)
+            severity = rng.uniform(0.9, 1.2)
+            hi = min((day + hold_days) * HOURS_PER_DAY, n_hours)
+            if hi <= day_start_hour:
+                continue
+            degradation[sector, day_start_hour:hi] = severity
+            onset_days[sector, day] = True
+            # Precursor: linear ramp over the preceding ramp_days days.
+            ramp_lo_day = max(day - ramp_days, 0)
+            for lead, ramp_day in enumerate(range(ramp_lo_day, day)):
+                fraction = (lead + 1 + (day - ramp_days - ramp_lo_day)) / ramp_days
+                fraction = np.clip(fraction, 0.0, 1.0)
+                lo = ramp_day * HOURS_PER_DAY
+                precursor[sector, lo : lo + HOURS_PER_DAY] = np.maximum(
+                    precursor[sector, lo : lo + HOURS_PER_DAY], fraction * severity
+                )
+        return degradation, precursor, onset_days

@@ -1,0 +1,208 @@
+"""The 21-KPI catalog.
+
+The paper uses ``l = 21`` KPIs grouped into coverage, accessibility,
+retainability, mobility, and availability/congestion classes
+(Sec. II-B).  This module defines a synthetic counterpart: each channel
+is a documented function of the latent sector state (load, failure,
+surge, interference, degradation, precursor) plus observation noise.
+
+Channel ordering is chosen so that the 1-based indices the paper's
+feature-importance analysis highlights carry the same meaning here:
+
+* k=6  — noise rise conditions (interference),
+* k=8  — data utilization rate (congestion),
+* k=9  — users queuing for a high-speed channel (usage),
+* k=10 — channel setup failure (signalling),
+* k=12 — absolute noise measurement (interference),
+* k=14 — transmission (TTI) occupancy (usage).
+
+All channels are oriented so that *larger = worse or busier*, except the
+explicitly inverted "success"/"availability" ratios, which the score
+thresholds handle with their own orientation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KPI_NAMES", "KPI_CLASSES", "KPICatalog", "LatentState"]
+
+KPI_NAMES: tuple[str, ...] = (
+    "pilot_power_deviation",       # 1  coverage
+    "rscp_coverage_shortfall",     # 2  coverage
+    "ecno_quality_degradation",    # 3  coverage
+    "voice_setup_failure_ratio",   # 4  accessibility
+    "data_setup_failure_ratio",    # 5  accessibility
+    "noise_rise",                  # 6  coverage/interference  (paper k=6)
+    "paging_failure_ratio",        # 7  accessibility
+    "data_utilization_rate",       # 8  congestion            (paper k=8)
+    "hsdpa_queue_users",           # 9  usage/congestion      (paper k=9)
+    "channel_setup_failure",       # 10 signalling            (paper k=10)
+    "voice_drop_ratio",            # 11 retainability
+    "noise_floor_level",           # 12 interference          (paper k=12)
+    "data_drop_ratio",             # 13 retainability
+    "tti_occupancy",               # 14 usage                 (paper k=14)
+    "handover_failure_ratio",      # 15 mobility
+    "soft_handover_overhead",      # 16 mobility
+    "voice_blocking",              # 17 availability          (Fig. 1A)
+    "data_throughput_deficit",     # 18 data                  (Fig. 1B)
+    "free_channel_shortage",       # 19 availability
+    "congestion_ratio",            # 20 congestion
+    "cell_unavailability",         # 21 availability
+)
+
+KPI_CLASSES: dict[str, tuple[int, ...]] = {
+    # 1-based indices per class, mirroring the paper's grouping.
+    "coverage": (1, 2, 3, 6, 12),
+    "accessibility": (4, 5, 7, 10),
+    "retainability": (11, 13),
+    "mobility": (15, 16),
+    "availability_congestion": (8, 9, 14, 17, 18, 19, 20, 21),
+}
+
+# Indices (0-based) of the usage/congestion channels the precursor ramp
+# feeds.  These are the channels the paper finds most important for the
+# "become a hot spot" forecast.
+PRECURSOR_CHANNELS: tuple[int, ...] = (7, 8, 13, 19)  # k=8, 9, 14, 20 (1-based)
+
+
+@dataclass(frozen=True)
+class LatentState:
+    """Latent hourly state of every sector, as produced by the generator.
+
+    All arrays have shape ``(n_sectors, n_hours)``.
+
+    Attributes
+    ----------
+    load:
+        Relative carried load (0 = idle, 1 = nominal busy-hour load,
+        values > 1 mean demand exceeds provisioned capacity).
+    failure:
+        Hardware-fault severity.
+    surge:
+        Demand-surge excess.
+    interference:
+        External interference level.
+    degradation:
+        Persistent degradation severity.
+    precursor:
+        Pre-onset usage ramp (feeds usage/congestion KPIs only).
+    """
+
+    load: np.ndarray
+    failure: np.ndarray
+    surge: np.ndarray
+    interference: np.ndarray
+    degradation: np.ndarray
+    precursor: np.ndarray
+
+
+class KPICatalog:
+    """Map latent sector state to the 21 observable KPI channels.
+
+    Parameters
+    ----------
+    rng:
+        Dedicated random generator for observation noise.
+    noise_scale:
+        Global multiplier on every channel's observation noise.
+    """
+
+    def __init__(self, rng: np.random.Generator, noise_scale: float = 1.0) -> None:
+        self._rng = rng
+        self._noise_scale = noise_scale
+
+    @property
+    def n_kpis(self) -> int:
+        return len(KPI_NAMES)
+
+    def observe(self, state: LatentState) -> np.ndarray:
+        """Render the KPI tensor ``K`` (shape ``(n, m_h, 21)``) from latent state.
+
+        Every channel is a smooth monotone function of one or two latent
+        drivers, clipped to its physical range, with channel-specific
+        Gaussian observation noise.
+        """
+        load = state.load
+        fail = state.failure
+        surge = state.surge
+        noise_ext = state.interference
+        ramp = state.precursor
+        # A capacity-degrading fault hurts in proportion to carried
+        # traffic: at night a degraded sector barely misbehaves, during
+        # waking hours it misbehaves fully.  This produces the paper's
+        # ~16-hours-per-day hot spot mode (Fig. 6A) instead of flat 24 h
+        # stretches.
+        degr = state.degradation * (0.35 + 0.65 * np.clip(load / 0.6, 0.0, 1.0))
+
+        # Effective stress combines demand pressure and degradation: a
+        # degraded sector behaves like one with much less usable capacity.
+        stress = load * (1.0 + surge) + 0.9 * degr
+        # Usage pressure additionally carries the precursor ramp: traffic
+        # builds up *before* the sector's health visibly collapses.  The
+        # coupling is strong enough that the final ramp days can trip the
+        # usage thresholds on busy sectors — the paper observes exactly
+        # this ("relatively high scores are typically present before
+        # becoming a hot spot"), and it is what gives the Average
+        # baseline its partial signal on the 'become' task while the raw
+        # KPI columns carry the ramp much earlier.
+        usage = load * (1.0 + surge) + 0.85 * ramp + 0.8 * degr
+        # Overload beyond the soft capacity point: service-impacting KPIs
+        # (blocking, throughput, congestion) start degrading once carried
+        # load approaches the provisioned capacity (~0.65 of the nominal
+        # busy-hour ceiling), which puts the hot spot onset near load 1.0.
+        over = np.clip(stress - 0.65, 0.0, None)
+
+        channels = [
+            # -- coverage -----------------------------------------------------
+            0.10 + 0.25 * fail + 0.10 * noise_ext,              # 1 pilot_power_deviation
+            0.15 + 0.30 * fail + 0.05 * stress,                 # 2 rscp_coverage_shortfall
+            0.10 + 0.20 * noise_ext + 0.15 * stress,            # 3 ecno_quality_degradation
+            # -- accessibility --------------------------------------------------
+            0.02 + 0.30 * over + 0.50 * fail + 0.25 * degr,     # 4 voice_setup_failure_ratio
+            0.03 + 0.35 * over + 0.45 * fail + 0.30 * degr,     # 5 data_setup_failure_ratio
+            0.10 + 0.60 * noise_ext + 0.25 * usage + 0.2 * degr,  # 6 noise_rise
+            0.02 + 0.40 * fail + 0.10 * over,                   # 7 paging_failure_ratio
+            # -- congestion / usage ---------------------------------------------
+            0.55 * usage + 0.15 * degr,                         # 8 data_utilization_rate
+            2.5 * np.clip(usage - 0.55, 0.0, None) + 0.3 * degr,  # 9 hsdpa_queue_users
+            0.02 + 0.45 * fail + 0.30 * degr + 0.10 * over,     # 10 channel_setup_failure
+            # -- retainability ---------------------------------------------------
+            0.01 + 0.35 * fail + 0.20 * over + 0.20 * degr,     # 11 voice_drop_ratio
+            0.20 + 0.70 * noise_ext + 0.15 * degr,              # 12 noise_floor_level
+            0.02 + 0.30 * fail + 0.25 * over + 0.25 * degr,     # 13 data_drop_ratio
+            0.60 * usage + 0.10 * degr,                         # 14 tti_occupancy
+            # -- mobility --------------------------------------------------------
+            0.02 + 0.40 * fail + 0.10 * noise_ext,              # 15 handover_failure_ratio
+            0.25 + 0.20 * stress + 0.10 * noise_ext,            # 16 soft_handover_overhead
+            # -- availability / service ------------------------------------------
+            0.01 + 0.60 * over + 0.45 * fail + 0.35 * degr,     # 17 voice_blocking
+            0.05 + 0.55 * over + 0.30 * fail + 0.40 * degr,     # 18 data_throughput_deficit
+            0.05 + 0.50 * over + 0.25 * degr,                   # 19 free_channel_shortage
+            0.02 + 0.55 * over + 0.30 * degr + 0.05 * fail,     # 20 congestion_ratio
+            0.01 + 0.85 * fail + 0.15 * degr,                   # 21 cell_unavailability
+        ]
+        tensor = np.stack(channels, axis=-1)
+
+        noise_sd = self._noise_scale * _CHANNEL_NOISE[None, None, :]
+        tensor = tensor + self._rng.normal(scale=1.0, size=tensor.shape) * noise_sd
+        return np.clip(tensor, 0.0, None)
+
+
+# Per-channel observation noise standard deviations.  Ratio-like channels
+# are quieter; count-like channels (queue users) are noisier.
+_CHANNEL_NOISE = np.array(
+    [
+        0.03, 0.03, 0.03,           # coverage
+        0.02, 0.02, 0.05, 0.02,     # accessibility + noise rise
+        0.05, 0.12, 0.02,           # utilization, queue, setup failure
+        0.015, 0.05, 0.02, 0.05,    # drops, noise floor, occupancy
+        0.02, 0.03,                 # mobility
+        0.02, 0.04, 0.03, 0.02, 0.015,  # availability block
+    ]
+)
+
+if len(KPI_NAMES) != 21 or _CHANNEL_NOISE.size != 21:
+    raise AssertionError("KPI catalog must define exactly 21 channels")

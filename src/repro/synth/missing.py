@@ -1,0 +1,77 @@
+"""Missing-value injection.
+
+Reproduces the three missingness shapes the paper observes (Sec. II-C):
+
+* isolated entries ``K[i, j, k]`` (probe glitches);
+* whole-hour slices ``K[i, j, :]`` (site offline / backbone congested
+  for that hour);
+* multi-hour blocks ``K[i, j:j+t, :]`` (collection outages).
+
+Additionally a configurable fraction of sectors is made effectively dead
+(one or more weeks with >50 % of values missing) so that the sector
+filter of :mod:`repro.imputation.filtering` has real work to do — the
+paper discards ~10 % of sectors this way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.tensor import HOURS_PER_WEEK
+from repro.synth.config import MissingnessConfig
+
+__all__ = ["inject_missingness"]
+
+
+def inject_missingness(
+    shape: tuple[int, int, int],
+    config: MissingnessConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw a boolean missing mask for a KPI tensor of the given shape.
+
+    Parameters
+    ----------
+    shape:
+        ``(n_sectors, n_hours, n_kpis)``.
+    config:
+        Injection rates.
+    rng:
+        Dedicated random generator.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean mask, True where a measurement is missing.
+    """
+    n_sectors, n_hours, n_kpis = shape
+    mask = rng.random(shape) < config.point_rate
+
+    # Whole-hour slices: K[i, j, :].
+    hour_slices = rng.random((n_sectors, n_hours)) < config.hour_slice_rate
+    mask |= hour_slices[:, :, None]
+
+    # Multi-hour blocks: K[i, j:j+t, :].
+    n_weeks = max(n_hours // HOURS_PER_WEEK, 1)
+    expected_blocks = config.block_rate_per_week * n_weeks
+    block_starts = rng.random((n_sectors, n_hours)) < expected_blocks / n_hours
+    duration_p = 1.0 / max(config.block_duration_mean_hours, 1.0)
+    for sector, hour in zip(*np.nonzero(block_starts)):
+        duration = int(rng.geometric(duration_p))
+        mask[sector, hour : hour + duration, :] = True
+
+    # Dead sectors: one or more full weeks mostly missing.
+    n_dead = int(round(config.dead_sector_fraction * n_sectors))
+    if n_dead > 0 and n_weeks >= 1:
+        dead_sectors = rng.choice(n_sectors, size=n_dead, replace=False)
+        for sector in dead_sectors:
+            n_bad_weeks = int(
+                rng.integers(config.dead_sector_min_weeks, max(n_weeks // 2, 2))
+            )
+            start_week = int(rng.integers(0, max(n_weeks - n_bad_weeks, 1)))
+            lo = start_week * HOURS_PER_WEEK
+            hi = min((start_week + n_bad_weeks) * HOURS_PER_WEEK, n_hours)
+            # >50 % of the week missing: drop a random ~70 % of hours.
+            week_hours = rng.random(hi - lo) < 0.7
+            mask[sector, lo:hi, :] |= week_hours[:, None]
+    return mask

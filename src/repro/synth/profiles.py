@@ -1,0 +1,133 @@
+"""Latent demand profiles per land-use class.
+
+Each land-use class has a characteristic diurnal profile (24 hourly
+multipliers) and a weekly modulation (7 daily multipliers).  The product
+of the two, plus holiday adjustments, shapes the latent load each sector
+carries hour by hour.  These profiles implant the regular hot spot
+patterns the paper observes:
+
+* business sectors peak Monday–Friday in office hours (M T W T F pattern,
+  rank 3 in paper Table II);
+* commercial sectors peak Monday–Saturday afternoons with extra demand
+  around shopping holidays (M–Sa pattern, plus Fig. 1B spikes);
+* residential and nightlife sectors carry evening/weekend demand
+  (weekend-only patterns);
+* transport sectors peak at commute hours, Monday–Friday, including the
+  15–18 h window the paper's feature-importance analysis highlights;
+* rural sectors stay far below capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.synth.geography import LandUse
+
+__all__ = ["LoadProfileLibrary"]
+
+
+def _smooth_diurnal(peaks: list[tuple[float, float, float]], base: float) -> np.ndarray:
+    """Build a 24-hour profile as a sum of wrapped Gaussian bumps.
+
+    Each peak is ``(centre_hour, width_hours, amplitude)``.
+    """
+    hours = np.arange(24, dtype=np.float64)
+    profile = np.full(24, base, dtype=np.float64)
+    for centre, width, amplitude in peaks:
+        delta = np.minimum(np.abs(hours - centre), 24.0 - np.abs(hours - centre))
+        profile += amplitude * np.exp(-0.5 * (delta / width) ** 2)
+    return profile
+
+
+# Diurnal shapes: tuples of (centre hour, width, amplitude) over a base
+# level.  Every non-nightlife class carries a broad "awake" plateau
+# (roughly 9-22 h) on top of its characteristic peaks, so loaded sectors
+# stay hot for most of the waking day — the source of the ~16-hours-per-
+# day mode the paper finds (Fig. 6A, an 8-hour sleeping pattern).
+_DIURNAL = {
+    LandUse.RESIDENTIAL: _smooth_diurnal(
+        [(20.5, 2.5, 1.0), (8.0, 1.5, 0.3), (14.5, 5.5, 0.55)], base=0.18
+    ),
+    LandUse.BUSINESS: _smooth_diurnal(
+        [(11.0, 2.0, 1.0), (16.0, 2.0, 0.9), (13.5, 5.0, 0.45)], base=0.12
+    ),
+    LandUse.COMMERCIAL: _smooth_diurnal(
+        [(17.0, 2.5, 1.0), (12.0, 1.5, 0.6), (14.5, 5.0, 0.5)], base=0.14
+    ),
+    LandUse.TRANSPORT: _smooth_diurnal(
+        [(8.0, 1.2, 1.0), (17.5, 1.5, 1.1), (13.0, 5.0, 0.5)], base=0.12
+    ),
+    LandUse.NIGHTLIFE: _smooth_diurnal([(23.0, 2.0, 1.0), (2.0, 2.0, 0.8)], base=0.12),
+    LandUse.RURAL: _smooth_diurnal([(13.0, 4.0, 0.4)], base=0.15),
+}
+
+# Weekly modulation, Monday-first (index 0 = Monday ... 6 = Sunday).
+_WEEKLY = {
+    LandUse.RESIDENTIAL: np.array([0.82, 0.82, 0.84, 0.88, 0.96, 1.00, 0.93]),
+    LandUse.BUSINESS: np.array([1.00, 1.00, 1.00, 0.99, 1.00, 0.35, 0.25]),
+    LandUse.COMMERCIAL: np.array([0.85, 0.85, 0.88, 0.90, 1.00, 1.05, 0.40]),
+    LandUse.TRANSPORT: np.array([1.00, 1.00, 1.00, 1.00, 1.00, 0.55, 0.45]),
+    LandUse.NIGHTLIFE: np.array([0.35, 0.35, 0.45, 0.60, 1.00, 1.10, 0.70]),
+    LandUse.RURAL: np.array([0.80, 0.80, 0.80, 0.80, 0.85, 1.00, 1.00]),
+}
+
+# Holiday behaviour: demand multiplier applied on holiday days.
+_HOLIDAY_FACTOR = {
+    LandUse.RESIDENTIAL: 1.15,
+    LandUse.BUSINESS: 0.35,
+    LandUse.COMMERCIAL: 1.30,
+    LandUse.TRANSPORT: 0.60,
+    LandUse.NIGHTLIFE: 1.20,
+    LandUse.RURAL: 1.10,
+}
+
+
+class LoadProfileLibrary:
+    """Deterministic latent-load profiles per land-use class.
+
+    The library is stateless; randomness (per-sector base load, noise) is
+    applied by the generator on top of these deterministic shapes.
+    """
+
+    def diurnal(self, land_use: int) -> np.ndarray:
+        """24-hour demand multipliers for a land-use class, max-normalised."""
+        profile = _DIURNAL[LandUse(land_use)]
+        return profile / profile.max()
+
+    def weekly(self, land_use: int) -> np.ndarray:
+        """7-day (Monday-first) demand multipliers for a land-use class."""
+        return _WEEKLY[LandUse(land_use)].copy()
+
+    def holiday_factor(self, land_use: int) -> float:
+        """Demand multiplier applied on holidays."""
+        return float(_HOLIDAY_FACTOR[LandUse(land_use)])
+
+    def hourly_load(
+        self,
+        land_use: int,
+        hour_of_day: np.ndarray,
+        day_of_week: np.ndarray,
+        holiday: np.ndarray,
+    ) -> np.ndarray:
+        """Latent relative load for every hour of the time axis.
+
+        Parameters
+        ----------
+        land_use:
+            Land-use class of the sector.
+        hour_of_day, day_of_week, holiday:
+            Hourly calendar signals (see
+            :func:`repro.synth.calendar_info.build_calendar`).
+
+        Returns
+        -------
+        numpy.ndarray
+            Relative load in ``[0, ~1.3]`` per hour.
+        """
+        diurnal = self.diurnal(land_use)[np.asarray(hour_of_day, dtype=np.int64)]
+        weekly = self.weekly(land_use)[np.asarray(day_of_week, dtype=np.int64)]
+        load = diurnal * weekly
+        holiday = np.asarray(holiday, dtype=bool)
+        if holiday.any():
+            load = np.where(holiday, load * self.holiday_factor(land_use), load)
+        return load

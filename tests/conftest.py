@@ -1,0 +1,50 @@
+"""Shared fixtures: small generated datasets reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GeneratorConfig, TelemetryGenerator, attach_scores, filter_sectors
+from repro.imputation import ForwardFillImputer
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small raw dataset (with missing values), 4 weeks, 30 sectors."""
+    config = GeneratorConfig(n_towers=10, n_weeks=4, seed=11)
+    return TelemetryGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def scored_dataset():
+    """A filtered, imputed (forward fill), scored dataset — 18 weeks.
+
+    Session-scoped because generation plus scoring takes a few seconds;
+    tests must not mutate it.
+    """
+    config = GeneratorConfig(n_towers=20, n_weeks=18, seed=5)
+    dataset = TelemetryGenerator(config).generate()
+    dataset, _ = filter_sectors(dataset)
+    dataset.kpis = ForwardFillImputer().fit_transform(dataset.kpis)
+    return attach_scores(dataset)
+
+
+@pytest.fixture(scope="session")
+def analysis_dataset():
+    """A larger scored dataset for statistical shape assertions.
+
+    The Sec. III shape tests (weekly patterns, duration histograms,
+    spatial correlations) need enough sectors for the population
+    statistics to stabilise; 60 towers gives 180 sectors.
+    """
+    config = GeneratorConfig(n_towers=60, n_weeks=18, seed=3)
+    dataset = TelemetryGenerator(config).generate()
+    dataset, _ = filter_sectors(dataset)
+    dataset.kpis = ForwardFillImputer().fit_transform(dataset.kpis)
+    return attach_scores(dataset)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,220 @@
+"""Tests for repro.analysis — temporal, pattern, and spatial analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.patterns import (
+    format_pattern,
+    pattern_consistency,
+    weekly_patterns,
+)
+from repro.analysis.spatial import spatial_correlation
+from repro.analysis.temporal import (
+    consecutive_period_histogram,
+    days_per_week_histogram,
+    hours_per_day_histogram,
+    weeks_as_hotspot_histogram,
+)
+from repro.data.dataset import SectorGeography
+
+
+class TestTemporalHistograms:
+    def test_hours_per_day_simple(self):
+        labels = np.zeros((1, 48), dtype=np.int8)
+        labels[0, :5] = 1        # 5 hot hours on day 0
+        labels[0, 24:40] = 1     # 16 hot hours on day 1
+        hours, rel = hours_per_day_histogram(labels)
+        assert hours[0] == 1
+        assert rel[4] == pytest.approx(0.5)   # 5 hours
+        assert rel[15] == pytest.approx(0.5)  # 16 hours
+        assert rel.sum() == pytest.approx(1.0)
+
+    def test_days_per_week_simple(self):
+        labels = np.zeros((1, 14), dtype=np.int8)
+        labels[0, :5] = 1   # 5 days in week 0
+        labels[0, 7] = 1    # 1 day in week 1
+        days, rel = days_per_week_histogram(labels)
+        assert rel[4] == pytest.approx(0.5)
+        assert rel[0] == pytest.approx(0.5)
+
+    def test_weeks_histogram(self):
+        labels = np.array([[1, 1, 0], [0, 0, 0], [1, 1, 1]], dtype=np.int8)
+        weeks, rel = weeks_as_hotspot_histogram(labels)
+        assert rel[1] == pytest.approx(0.5)  # 2 weeks
+        assert rel[2] == pytest.approx(0.5)  # 3 weeks
+
+    def test_never_hot_excluded(self):
+        labels = np.zeros((5, 24), dtype=np.int8)
+        __, rel = hours_per_day_histogram(labels)
+        assert rel.sum() == 0.0
+
+    def test_consecutive_wrapper(self):
+        labels = np.array([[1, 1, 0, 1]], dtype=np.int8)
+        lengths, rel = consecutive_period_histogram(labels)
+        np.testing.assert_array_equal(lengths, [1, 2])
+        np.testing.assert_allclose(rel, [0.5, 0.5])
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError):
+            hours_per_day_histogram(np.full((2, 24), 2))
+
+    def test_paper_shape_on_generated_data(self, analysis_dataset):
+        """Days/week histogram must show the paper's qualitative peaks:
+        1 day prominent, and 5/7 days above their neighbours 4/6."""
+        days, rel = days_per_week_histogram(analysis_dataset.labels_daily)
+        assert rel[0] > 0.1                  # single-day hot spots prominent
+        assert rel[4] >= 0.95 * rel[3]       # 5-day (workweek) shoulder
+        assert rel[6] > rel[5]               # 7-day (whole week) peak
+
+
+class TestWeeklyPatterns:
+    def test_format(self):
+        assert format_pattern((1, 1, 1, 1, 1, 0, 0)) == "M T W T F - -"
+        assert format_pattern((0, 0, 0, 0, 0, 0, 1)) == "- - - - - - S"
+        with pytest.raises(ValueError):
+            format_pattern((1, 0))
+
+    def test_counts_and_exclusion(self):
+        labels = np.array(
+            [
+                [1, 1, 1, 1, 1, 0, 0] * 2,      # workweek pattern twice
+                [0, 0, 0, 0, 0, 0, 0] * 2,      # never hot
+                [0, 0, 0, 0, 1, 0, 0] + [0] * 7,  # Friday-only once
+            ],
+            dtype=np.int8,
+        )
+        table = weekly_patterns(labels)
+        top = table.top(3)
+        assert top[0][0] == "M T W T F - -"
+        assert top[0][1] == pytest.approx(100 * 2 / 3)
+        assert table.never_hot_fraction == pytest.approx(3 / 6)
+
+    def test_percentages_sum_to_100(self, scored_dataset):
+        table = weekly_patterns(scored_dataset.labels_daily)
+        assert table.relative_counts.sum() == pytest.approx(100.0)
+
+    def test_workday_patterns_prominent(self, analysis_dataset):
+        """Paper Table II: full-week and workweek patterns in the top ranks."""
+        table = weekly_patterns(analysis_dataset.labels_daily)
+        top8 = [p for p, __ in table.top(8)]
+        assert "M T W T F S S" in top8
+        assert any(p in top8 for p in ("M T W T F - -", "M T W T F S -"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weekly_patterns(np.zeros((2, 5), dtype=np.int8))
+        with pytest.raises(ValueError):
+            weekly_patterns(np.full((2, 7), 3))
+
+
+class TestPatternConsistency:
+    def test_perfectly_repeating_sector(self):
+        week = np.array([1, 1, 1, 1, 1, 0, 0], dtype=float)
+        labels = np.tile(week, (1, 4))
+        consistency = pattern_consistency(labels)
+        assert consistency.size == 1
+        assert consistency[0] == pytest.approx(1.0)
+
+    def test_constant_sectors_excluded(self):
+        labels = np.zeros((3, 21))
+        labels[0] = 1.0
+        assert pattern_consistency(labels).size == 0
+
+    def test_generated_data_moderately_consistent(self, scored_dataset):
+        """Paper: average weekly-pattern correlation around 0.6."""
+        consistency = pattern_consistency(scored_dataset.labels_daily)
+        assert consistency.size > 5
+        assert 0.3 < consistency.mean() <= 1.0
+
+    def test_needs_two_weeks(self):
+        with pytest.raises(ValueError):
+            pattern_consistency(np.zeros((2, 7)))
+
+
+class TestSpatialCorrelation:
+    def _toy(self, rng):
+        """Three towers: A and B far apart but identical behaviour,
+        C nearby A with independent behaviour."""
+        m = 500
+        base = (rng.random(m) < 0.3).astype(float)
+        independent = (rng.random(m) < 0.3).astype(float)
+        labels = np.vstack([base, base.copy(), independent])
+        geo = SectorGeography(
+            positions_km=np.array([[0.0, 0.0], [150.0, 0.0], [0.05, 0.0]]),
+            tower_ids=np.array([0, 1, 2]),
+            land_use=np.array([0, 0, 1]),
+        )
+        return labels, geo
+
+    def test_far_twin_found_in_best(self, rng):
+        labels, geo = self._toy(rng)
+        result = spatial_correlation(labels, geo, n_nearest=2, n_best=2)
+        # the 102-204 km bucket must contain a near-perfect best match
+        far_bucket = result.buckets.assign(np.array([150.0]))[0]
+        assert result.best[far_bucket].size > 0
+        assert result.best[far_bucket].max() > 0.95
+
+    def test_rows_structure(self, scored_dataset):
+        result = spatial_correlation(
+            scored_dataset.labels_hourly,
+            scored_dataset.geography,
+            n_nearest=20,
+            n_best=10,
+            max_sectors=20,
+        )
+        rows = result.summary_rows()
+        assert len(rows) == result.buckets.n_buckets
+        assert rows[0]["distance_km"] == "0"
+
+    def test_same_tower_bucket_most_correlated(self, analysis_dataset):
+        """Paper Fig. 8A: distance-0 (same tower) correlations highest."""
+        result = spatial_correlation(
+            analysis_dataset.labels_hourly,
+            analysis_dataset.geography,
+            n_nearest=60,
+            n_best=20,
+            max_sectors=60,
+        )
+        zero_bucket = result.average[0]
+        assert zero_bucket.size > 0
+        far_values = np.concatenate(
+            [b for b in result.average[5:] if b.size > 0] or [np.zeros(1)]
+        )
+        assert np.median(zero_bucket) > np.median(far_values)
+
+    def test_validation(self, rng):
+        geo = SectorGeography(
+            positions_km=np.zeros((2, 2)),
+            tower_ids=np.zeros(2, int),
+            land_use=np.zeros(2, int),
+        )
+        with pytest.raises(ValueError):
+            spatial_correlation(rng.random((2, 10)), geo)
+        with pytest.raises(ValueError):
+            spatial_correlation(rng.random((3, 10)), geo)
+
+
+class TestSpatialSubsampling:
+    def test_max_sectors_reduces_reference_set(self, scored_dataset):
+        small = spatial_correlation(
+            scored_dataset.labels_hourly, scored_dataset.geography,
+            n_nearest=10, n_best=5, max_sectors=8, seed=1,
+        )
+        total = sum(bucket.size for bucket in small.average)
+        # with 8 reference sectors there are at most 8 per-bucket entries
+        assert all(bucket.size <= 8 for bucket in small.average)
+        assert total > 0
+
+    def test_seed_controls_subsample(self, scored_dataset):
+        a = spatial_correlation(
+            scored_dataset.labels_hourly, scored_dataset.geography,
+            n_nearest=10, n_best=5, max_sectors=8, seed=1,
+        )
+        b = spatial_correlation(
+            scored_dataset.labels_hourly, scored_dataset.geography,
+            n_nearest=10, n_best=5, max_sectors=8, seed=1,
+        )
+        for x, y in zip(a.best, b.best):
+            np.testing.assert_array_equal(x, y)

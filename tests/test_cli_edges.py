@@ -1,0 +1,44 @@
+"""CLI edge cases beyond the happy path covered by the integration test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        actions = {
+            action.dest: action for action in parser._actions
+        }
+        sub = actions["command"]
+        assert set(sub.choices) == {"generate", "analyze", "forecast", "sweep"}
+
+    def test_missing_required_out_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+    def test_forecast_defaults(self):
+        args = build_parser().parse_args(["forecast", "--data", "x.npz"])
+        assert args.target == "hot"
+        assert args.window == 7
+        assert args.horizons == [1, 5, 7, 14]
+
+
+class TestSweepRangeGuard:
+    def test_too_short_dataset_fails_cleanly(self, tmp_path, capsys):
+        data_path = str(tmp_path / "tiny.npz")
+        assert cli_main([
+            "generate", "--towers", "4", "--weeks", "3", "--out", data_path,
+        ]) == 0
+        capsys.readouterr()
+        code = cli_main([
+            "sweep", "--data", data_path, "--impute-epochs", "1",
+            "--n-t", "2", "--horizons", "14", "--windows", "7",
+            "--out", str(tmp_path / "r.jsonl"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "too short" in out

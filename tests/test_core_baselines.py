@@ -1,0 +1,111 @@
+"""Tests for repro.core.baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    AverageModel,
+    PersistModel,
+    RandomModel,
+    TrendModel,
+)
+
+
+@pytest.fixture()
+def daily(rng):
+    score = rng.random((10, 40)) * 0.4
+    labels = (score > 0.2).astype(np.int8)
+    return score, labels
+
+
+class TestRandomModel:
+    def test_uniform_scores(self, daily):
+        score, labels = daily
+        out = RandomModel(random_state=0).forecast(score, labels, 20, 5, 7)
+        assert out.shape == (10,)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_deterministic_per_seed(self, daily):
+        score, labels = daily
+        a = RandomModel(random_state=5).forecast(score, labels, 20, 5, 7)
+        b = RandomModel(random_state=5).forecast(score, labels, 20, 5, 7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPersistModel:
+    def test_returns_current_label(self, daily):
+        score, labels = daily
+        out = PersistModel().forecast(score, labels, 20, 5, 7)
+        np.testing.assert_array_equal(out, labels[:, 20].astype(float))
+
+    def test_ignores_horizon(self, daily):
+        score, labels = daily
+        a = PersistModel().forecast(score, labels, 20, 1, 7)
+        b = PersistModel().forecast(score, labels, 20, 29, 7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAverageModel:
+    def test_window_mean(self, daily):
+        score, labels = daily
+        out = AverageModel().forecast(score, labels, 20, 5, 7)
+        np.testing.assert_allclose(out, score[:, 14:21].mean(axis=1))
+
+    def test_window_one_is_today(self, daily):
+        score, labels = daily
+        out = AverageModel().forecast(score, labels, 20, 5, 1)
+        np.testing.assert_allclose(out, score[:, 20])
+
+    def test_window_does_not_fit_raises(self, daily):
+        score, labels = daily
+        with pytest.raises(IndexError):
+            AverageModel().forecast(score, labels, 3, 5, 10)
+
+    def test_t_out_of_range_raises(self, daily):
+        score, labels = daily
+        with pytest.raises(IndexError):
+            AverageModel().forecast(score, labels, 40, 5, 7)
+
+    def test_window_validation(self, daily):
+        score, labels = daily
+        with pytest.raises(ValueError):
+            AverageModel().forecast(score, labels, 20, 5, 0)
+
+
+class TestTrendModel:
+    def test_rising_scores_project_higher_than_average(self):
+        score = np.linspace(0, 1, 30)[None, :].repeat(2, axis=0)
+        labels = np.zeros_like(score, dtype=np.int8)
+        trend = TrendModel().forecast(score, labels, 28, 1, 8)
+        average = AverageModel().forecast(score, labels, 28, 1, 8)
+        assert np.all(trend > average)
+
+    def test_falling_scores_project_lower(self):
+        score = np.linspace(1, 0, 30)[None, :].repeat(2, axis=0)
+        labels = np.zeros_like(score, dtype=np.int8)
+        trend = TrendModel().forecast(score, labels, 28, 1, 8)
+        average = AverageModel().forecast(score, labels, 28, 1, 8)
+        assert np.all(trend < average)
+
+    def test_flat_scores_equal_average(self, rng):
+        score = np.full((3, 30), 0.4)
+        labels = np.zeros_like(score, dtype=np.int8)
+        trend = TrendModel().forecast(score, labels, 25, 1, 6)
+        np.testing.assert_allclose(trend, 0.4)
+
+    def test_exact_formula(self):
+        # one sector, known values over a window of 4: [1, 2, 3, 4]
+        score = np.array([[0.0] * 20 + [1.0, 2.0, 3.0, 4.0]])
+        labels = np.zeros_like(score, dtype=np.int8)
+        out = TrendModel().forecast(score, labels, 23, 1, 4)
+        average = 2.5
+        half_diff = (3.5 - 1.5) / 2
+        assert out[0] == pytest.approx(average + half_diff)
+
+    def test_window_one_reduces_to_average(self, daily):
+        score, labels = daily
+        trend = TrendModel().forecast(score, labels, 20, 5, 1)
+        average = AverageModel().forecast(score, labels, 20, 5, 1)
+        np.testing.assert_allclose(trend, average)

@@ -1,0 +1,97 @@
+"""Tests for repro.core.forecaster — the tree-based forecasting models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import build_feature_tensor
+from repro.core.forecaster import MODEL_REGISTRY, HotSpotForecaster, make_model
+from repro.core.scoring import ScoreConfig
+
+
+@pytest.fixture(scope="module")
+def features(scored_dataset):
+    return build_feature_tensor(scored_dataset, ScoreConfig())
+
+
+@pytest.fixture(scope="module")
+def targets(scored_dataset):
+    return np.asarray(scored_dataset.labels_daily, dtype=np.int64)
+
+
+class TestHotSpotForecaster:
+    def test_fit_forecast_shape_and_range(self, features, targets):
+        model = HotSpotForecaster(
+            kind="forest", feature_view="percentiles", n_estimators=5,
+            n_training_days=3, random_state=0,
+        )
+        proba = model.fit_forecast(features, targets, t_day=60, horizon=5, window=7)
+        assert proba.shape == (features.n_sectors,)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_forecast_ranks_hot_sectors_highly(self, features, targets, scored_dataset):
+        from repro.ml.metrics import lift_over_random
+
+        model = HotSpotForecaster(
+            kind="forest", feature_view="percentiles", n_estimators=10,
+            n_training_days=6, random_state=0,
+        )
+        proba = model.fit_forecast(features, targets, t_day=60, horizon=3, window=7)
+        truth = targets[:, 63]
+        if truth.sum() > 0:
+            assert lift_over_random(proba, truth) > 2.0
+
+    def test_single_tree_kind(self, features, targets):
+        model = HotSpotForecaster(kind="tree", feature_view="percentiles",
+                                  n_training_days=2, random_state=0)
+        proba = model.fit_forecast(features, targets, t_day=60, horizon=5, window=3)
+        assert proba.shape == (features.n_sectors,)
+
+    def test_all_registry_models_run(self, features, targets):
+        for name in MODEL_REGISTRY:
+            model = make_model(name, n_estimators=3, n_training_days=2, random_state=1)
+            proba = model.fit_forecast(features, targets, t_day=60, horizon=2, window=2)
+            assert np.isfinite(proba).all(), name
+
+    def test_deterministic_per_seed(self, features, targets):
+        a = make_model("RF-F1", n_estimators=4, n_training_days=2, random_state=3)
+        b = make_model("RF-F1", n_estimators=4, n_training_days=2, random_state=3)
+        pa = a.fit_forecast(features, targets, 60, 5, 3)
+        pb = b.fit_forecast(features, targets, 60, 5, 3)
+        np.testing.assert_array_equal(pa, pb)
+
+    def test_constant_labels_fallback(self, features):
+        all_zero = np.zeros((features.n_sectors, features.n_hours // 24), dtype=np.int64)
+        model = HotSpotForecaster(kind="forest", feature_view="percentiles",
+                                  n_training_days=2, random_state=0)
+        proba = model.fit_forecast(features, all_zero, t_day=60, horizon=5, window=3)
+        np.testing.assert_allclose(proba, 0.0)
+
+    def test_importances_available_after_fit(self, features, targets):
+        model = make_model("RF-R", n_estimators=3, n_training_days=2, random_state=0)
+        model.fit(features, targets, t_day=60, horizon=5, window=2)
+        assert model.feature_importances_.size == 48 * features.n_channels
+        assert model.feature_importances_.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_validation(self, features, targets):
+        with pytest.raises(ValueError):
+            HotSpotForecaster(kind="boost")
+        with pytest.raises(ValueError):
+            HotSpotForecaster(feature_view="wavelets")
+        with pytest.raises(ValueError):
+            HotSpotForecaster(n_training_days=0)
+        model = HotSpotForecaster(n_training_days=2, random_state=0)
+        with pytest.raises(ValueError):
+            model.fit(features, targets, t_day=60, horizon=0, window=7)
+        with pytest.raises(RuntimeError):
+            HotSpotForecaster().forecast(features, 60, 7)
+
+    def test_insufficient_history_raises(self, features, targets):
+        model = HotSpotForecaster(n_training_days=2, random_state=0)
+        with pytest.raises(ValueError):
+            model.fit(features, targets, t_day=5, horizon=4, window=7)
+
+    def test_unknown_registry_name(self):
+        with pytest.raises(KeyError):
+            make_model("XGBoost")

@@ -1,0 +1,113 @@
+"""Tests for repro.core.twins — the twin-sector feature extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import build_feature_tensor
+from repro.core.scoring import ScoreConfig
+from repro.core.twins import TwinAssignment, augment_with_twins, find_twins
+
+
+class TestFindTwins:
+    def _labels(self, rng):
+        """Sectors 0 and 2 are near-identical twins; 1 is independent."""
+        base = (rng.random(30 * 24) < 0.3).astype(float)
+        other = (rng.random(30 * 24) < 0.3).astype(float)
+        twin = base.copy()
+        twin[:5] = 1 - twin[:5]
+        return np.vstack([base, other, twin])
+
+    def test_finds_the_correlated_pair(self, rng):
+        labels = self._labels(rng)
+        twins = find_twins(labels, cutoff_day=30)
+        assert twins.twin_index[0] == 2
+        assert twins.twin_index[2] == 0
+        assert twins.correlation[0] > 0.8
+
+    def test_never_assigns_self(self, rng):
+        labels = self._labels(rng)
+        twins = find_twins(labels, cutoff_day=30)
+        assert np.all(twins.twin_index != np.arange(3))
+
+    def test_causal_cutoff(self, rng):
+        """Changing labels after the cutoff must not change the twins."""
+        labels = self._labels(rng)
+        modified = labels.copy()
+        modified[:, 20 * 24 :] = 1 - modified[:, 20 * 24 :]
+        a = find_twins(labels, cutoff_day=20)
+        b = find_twins(modified, cutoff_day=20)
+        np.testing.assert_array_equal(a.twin_index, b.twin_index)
+
+    def test_exclude_self_tower(self, rng):
+        labels = self._labels(rng)
+        towers = np.array([0, 1, 0])  # sectors 0 and 2 share a tower
+        twins = find_twins(labels, cutoff_day=30, exclude_self_tower=towers)
+        assert twins.twin_index[0] == 1
+        assert twins.twin_index[2] == 1
+
+    def test_validation(self, rng):
+        labels = self._labels(rng)
+        with pytest.raises(ValueError):
+            find_twins(labels[:1], cutoff_day=10)
+        with pytest.raises(ValueError):
+            find_twins(labels, cutoff_day=0)
+        with pytest.raises(ValueError):
+            find_twins(labels, cutoff_day=9999)
+
+
+class TestAugmentWithTwins:
+    def test_channels_appended(self, scored_dataset):
+        features = build_feature_tensor(scored_dataset, ScoreConfig())
+        twins = find_twins(scored_dataset.labels_hourly, cutoff_day=50)
+        augmented = augment_with_twins(features, twins)
+        assert augmented.n_channels == features.n_channels + 3
+        assert augmented.n_extra_channels == 3
+        assert augmented.n_kpis == features.n_kpis
+        assert augmented.channel_names[-3:] == [
+            "twin_score_hourly", "twin_score_daily", "twin_score_weekly",
+        ]
+
+    def test_twin_values_are_the_peers_scores(self, scored_dataset):
+        features = build_feature_tensor(scored_dataset, ScoreConfig())
+        twins = find_twins(scored_dataset.labels_hourly, cutoff_day=50)
+        augmented = augment_with_twins(features, twins)
+        sector = 0
+        peer = int(twins.twin_index[sector])
+        np.testing.assert_array_equal(
+            augmented.values[sector, :, augmented.extra_slice],
+            features.values[peer, :, features.score_slice],
+        )
+
+    def test_family_slices_unchanged(self, scored_dataset):
+        features = build_feature_tensor(scored_dataset, ScoreConfig())
+        twins = find_twins(scored_dataset.labels_hourly, cutoff_day=50)
+        augmented = augment_with_twins(features, twins)
+        assert augmented.kpi_slice == features.kpi_slice
+        assert augmented.score_slice == features.score_slice
+
+    def test_mismatched_assignment_rejected(self, scored_dataset):
+        features = build_feature_tensor(scored_dataset, ScoreConfig())
+        bogus = TwinAssignment(
+            twin_index=np.zeros(3, dtype=np.int64),
+            correlation=np.zeros(3),
+            cutoff_day=10,
+        )
+        with pytest.raises(ValueError):
+            augment_with_twins(features, bogus)
+
+
+class TestTwinForecasting:
+    def test_forecaster_accepts_augmented_tensor(self, scored_dataset):
+        from repro.core.forecaster import make_model
+
+        features = build_feature_tensor(scored_dataset, ScoreConfig())
+        twins = find_twins(scored_dataset.labels_hourly, cutoff_day=50)
+        augmented = augment_with_twins(features, twins)
+        targets = np.asarray(scored_dataset.labels_daily, dtype=np.int64)
+        model = make_model("RF-F1", n_estimators=4, n_training_days=3,
+                           random_state=0)
+        proba = model.fit_forecast(augmented, targets, t_day=60, horizon=5, window=3)
+        assert proba.shape == (augmented.n_sectors,)
+        assert np.all((proba >= 0) & (proba <= 1))

@@ -1,0 +1,121 @@
+"""Tests for repro.data.dataset and repro.data.store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import attach_scores
+from repro.data.dataset import Dataset, SectorGeography
+from repro.data.store import (
+    load_dataset,
+    load_result_table,
+    save_dataset,
+    save_result_table,
+)
+
+
+class TestSectorGeography:
+    def _geo(self):
+        positions = np.array([[0.0, 0.0], [0.0, 0.0], [3.0, 4.0], [10.0, 0.0]])
+        return SectorGeography(
+            positions_km=positions,
+            tower_ids=np.array([0, 0, 1, 2]),
+            land_use=np.array([0, 0, 1, 5]),
+        )
+
+    def test_distances(self):
+        geo = self._geo()
+        dist = geo.distances_from(0)
+        np.testing.assert_allclose(dist, [0.0, 0.0, 5.0, 10.0])
+
+    def test_nearest_excludes_self(self):
+        geo = self._geo()
+        nearest = geo.nearest_sectors(0, 2)
+        assert 0 not in nearest
+        assert nearest[0] == 1  # same tower, distance 0
+
+    def test_nearest_clipped(self):
+        geo = self._geo()
+        assert geo.nearest_sectors(0, 100).size == 3
+
+    def test_select(self):
+        geo = self._geo().select(np.array([2, 3]))
+        assert geo.n_sectors == 2
+        np.testing.assert_array_equal(geo.tower_ids, [1, 2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SectorGeography(
+                positions_km=np.zeros((3, 3)),
+                tower_ids=np.zeros(3, int),
+                land_use=np.zeros(3, int),
+            )
+        with pytest.raises(ValueError):
+            SectorGeography(
+                positions_km=np.zeros((3, 2)),
+                tower_ids=np.zeros(2, int),
+                land_use=np.zeros(3, int),
+            )
+
+
+class TestDataset:
+    def test_generated_dataset_consistent(self, small_dataset):
+        data = small_dataset
+        assert data.calendar.shape == (data.kpis.n_hours, 5)
+        assert data.geography.n_sectors == data.n_sectors
+        assert not data.has_scores
+
+    def test_require_scores_raises_before_attach(self, small_dataset):
+        with pytest.raises(RuntimeError):
+            small_dataset.require_scores()
+
+    def test_select_sectors_propagates(self, scored_dataset):
+        subset = scored_dataset.select_sectors(np.arange(5))
+        assert subset.n_sectors == 5
+        assert subset.score_daily.shape[0] == 5
+        assert subset.labels_weekly.shape[0] == 5
+
+    def test_calendar_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            Dataset(
+                kpis=small_dataset.kpis,
+                geography=small_dataset.geography,
+                calendar=small_dataset.calendar[:-1],
+            )
+
+
+class TestStore:
+    def test_roundtrip_raw(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "data")
+        assert path.suffix == ".npz"
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.kpis.missing, small_dataset.kpis.missing)
+        observed = ~small_dataset.kpis.missing
+        np.testing.assert_allclose(
+            loaded.kpis.values[observed], small_dataset.kpis.values[observed]
+        )
+        assert loaded.kpis.kpi_names == small_dataset.kpis.kpi_names
+        assert loaded.time_axis.start_weekday == small_dataset.time_axis.start_weekday
+        np.testing.assert_array_equal(
+            loaded.geography.land_use, small_dataset.geography.land_use
+        )
+
+    def test_roundtrip_scored(self, scored_dataset, tmp_path):
+        path = save_dataset(scored_dataset, tmp_path / "scored.npz")
+        loaded = load_dataset(path)
+        assert loaded.has_scores
+        np.testing.assert_allclose(loaded.score_daily, scored_dataset.score_daily)
+        np.testing.assert_array_equal(loaded.labels_daily, scored_dataset.labels_daily)
+
+    def test_result_table_roundtrip(self, tmp_path):
+        rows = [
+            {"model": "RF-R", "t": 60, "lift": 5.5},
+            {"model": "Average", "t": 60, "lift": 4.2},
+        ]
+        path = save_result_table(rows, tmp_path / "results.jsonl")
+        assert load_result_table(path) == rows
+
+    def test_result_table_empty(self, tmp_path):
+        path = save_result_table([], tmp_path / "empty.jsonl")
+        assert load_result_table(path) == []

@@ -1,0 +1,66 @@
+"""Tests for repro.data.export — CSV writers."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import EvaluationResult
+from repro.core.experiment import ExperimentResult
+from repro.data.export import write_rows_csv, write_series_csv, write_sweep_csv
+
+
+def _read(path):
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.reader(handle))
+
+
+class TestSeriesCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "hist.csv", [1, 2, 3], np.array([0.5, 0.25, 0.25]),
+            x_name="hours", y_name="fraction",
+        )
+        rows = _read(path)
+        assert rows[0] == ["hours", "fraction"]
+        assert rows[1] == ["1", "0.5"]
+        assert len(rows) == 4
+
+    def test_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series_csv(tmp_path / "bad.csv", [1, 2], [1.0])
+
+    def test_creates_directories(self, tmp_path):
+        path = write_series_csv(tmp_path / "nested" / "dir" / "s.csv", [1], [2.0])
+        assert path.exists()
+
+
+class TestRowsCsv:
+    def test_union_header(self, tmp_path):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "c": 4}]
+        path = write_rows_csv(tmp_path / "rows.csv", rows)
+        content = _read(path)
+        assert content[0] == ["a", "b", "c"]
+        assert content[1] == ["1", "2", ""]
+        assert content[2] == ["3", "", "4"]
+
+    def test_empty(self, tmp_path):
+        path = write_rows_csv(tmp_path / "empty.csv", [])
+        assert _read(path) == [[]]
+
+
+class TestSweepCsv:
+    def test_experiment_results(self, tmp_path):
+        results = [
+            ExperimentResult(
+                model="Average", t_day=60, horizon=5, window=7, target="hot",
+                evaluation=EvaluationResult(0.5, 5.0, 100, 10),
+            )
+        ]
+        path = write_sweep_csv(tmp_path / "sweep.csv", results)
+        content = _read(path)
+        assert "model" in content[0]
+        assert "lift" in content[0]
+        assert content[1][content[0].index("model")] == "Average"

@@ -1,0 +1,31 @@
+"""Execute the library's docstring examples as tests.
+
+Keeps the examples in the public-API docstrings honest: if a signature
+changes, the corresponding doctest breaks here.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.data.tensor
+import repro.ml.autoencoder
+import repro.stats.buckets
+import repro.stats.ks
+import repro.synth.generator
+
+MODULES = [
+    repro.data.tensor,
+    repro.ml.autoencoder,
+    repro.stats.buckets,
+    repro.stats.ks,
+    repro.synth.generator,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module)
+    assert results.failed == 0

@@ -1,0 +1,173 @@
+"""Tests for repro.imputation — filtering, DAE, and simple imputers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.tensor import HOURS_PER_WEEK, KPITensor
+from repro.imputation import (
+    DAEImputer,
+    DAEImputerConfig,
+    ForwardFillImputer,
+    MeanImputer,
+    filter_sectors,
+    sector_filter_mask,
+)
+
+
+class TestSectorFilter:
+    def test_keeps_clean_sectors(self, rng):
+        values = rng.normal(size=(5, 2 * HOURS_PER_WEEK, 3))
+        tensor = KPITensor(values=values, missing=np.zeros(values.shape, bool))
+        assert sector_filter_mask(tensor).all()
+
+    def test_drops_dead_week(self, rng):
+        values = rng.normal(size=(5, 2 * HOURS_PER_WEEK, 3))
+        missing = np.zeros(values.shape, bool)
+        missing[2, :HOURS_PER_WEEK, :] = True  # 100 % missing first week
+        tensor = KPITensor(values=values, missing=missing)
+        keep = sector_filter_mask(tensor)
+        assert not keep[2]
+        assert keep.sum() == 4
+
+    def test_exactly_half_missing_kept(self, rng):
+        values = rng.normal(size=(2, HOURS_PER_WEEK, 2))
+        missing = np.zeros(values.shape, bool)
+        missing[0, : HOURS_PER_WEEK // 2, :] = True  # exactly 50 %
+        tensor = KPITensor(values=values, missing=missing)
+        assert sector_filter_mask(tensor)[0]
+
+    def test_threshold_validation(self, rng):
+        values = rng.normal(size=(2, HOURS_PER_WEEK, 2))
+        tensor = KPITensor(values=values, missing=np.zeros(values.shape, bool))
+        with pytest.raises(ValueError):
+            sector_filter_mask(tensor, max_weekly_missing=0.0)
+
+    def test_filter_sectors_on_generated_data(self, small_dataset):
+        filtered, keep = filter_sectors(small_dataset)
+        assert filtered.n_sectors == keep.sum()
+        # generator injects dead sectors, so the filter must drop some
+        assert keep.sum() < keep.size
+        # survivors must have no week above 50 % missing
+        assert (filtered.kpis.weekly_missing_fraction() <= 0.5).all()
+
+
+class TestSimpleImputers:
+    def _tensor(self, rng):
+        values = rng.normal(loc=5.0, size=(4, HOURS_PER_WEEK, 3))
+        missing = rng.random(values.shape) < 0.2
+        values = values.copy()
+        values[missing] = np.nan
+        return KPITensor(values=values, missing=missing)
+
+    def test_forward_fill_completes(self, rng):
+        tensor = self._tensor(rng)
+        out = ForwardFillImputer().fit_transform(tensor)
+        assert not out.missing.any()
+        assert not np.isnan(out.values).any()
+
+    def test_forward_fill_preserves_observed(self, rng):
+        tensor = self._tensor(rng)
+        out = ForwardFillImputer().fit_transform(tensor)
+        observed = ~tensor.missing
+        np.testing.assert_array_equal(out.values[observed], tensor.values[observed])
+
+    def test_mean_imputer_uses_kpi_means(self, rng):
+        tensor = self._tensor(rng)
+        out = MeanImputer().fit_transform(tensor)
+        assert not np.isnan(out.values).any()
+        kpi_means = np.nanmean(
+            np.where(tensor.missing, np.nan, tensor.values).reshape(-1, 3), axis=0
+        )
+        filled_positions = tensor.missing[:, :, 1]
+        assert np.allclose(out.values[:, :, 1][filled_positions], kpi_means[1])
+
+    def test_mean_imputer_requires_fit(self, rng):
+        tensor = self._tensor(rng)
+        with pytest.raises(RuntimeError):
+            MeanImputer().transform(tensor)
+
+
+class TestDAEImputer:
+    @pytest.fixture(scope="class")
+    def fitted(self, small_dataset):
+        config = DAEImputerConfig(epochs=4, batch_size=32, batches_per_epoch=8,
+                                  learning_rate=3e-3, seed=0)
+        imputer = DAEImputer(config)
+        imputer.fit(small_dataset.kpis)
+        return imputer
+
+    def test_transform_completes_tensor(self, fitted, small_dataset):
+        completed = fitted.transform(small_dataset.kpis)
+        assert not completed.missing.any()
+        assert not np.isnan(completed.values).any()
+
+    def test_observed_values_untouched(self, fitted, small_dataset):
+        completed = fitted.transform(small_dataset.kpis)
+        observed = ~small_dataset.kpis.missing
+        np.testing.assert_allclose(
+            completed.values[observed], small_dataset.kpis.values[observed]
+        )
+
+    def test_loss_decreases(self, small_dataset):
+        config = DAEImputerConfig(epochs=8, batch_size=32, batches_per_epoch=10,
+                                  learning_rate=3e-3, seed=1)
+        imputer = DAEImputer(config)
+        imputer.fit(small_dataset.kpis)
+        losses = imputer.loss_history_
+        assert losses[-1] < losses[0]
+
+    def test_reconstruction_shape(self, fitted, small_dataset):
+        recon = fitted.reconstruction(small_dataset.kpis, sector=0, week=1)
+        assert recon.shape == (HOURS_PER_WEEK, small_dataset.kpis.n_kpis)
+
+    def test_transform_before_fit_raises(self, small_dataset):
+        with pytest.raises(RuntimeError):
+            DAEImputer().transform(small_dataset.kpis)
+
+    def test_imputed_values_clipped_to_observed_range(self, fitted, small_dataset):
+        completed = fitted.transform(small_dataset.kpis)
+        observed = np.where(small_dataset.kpis.missing, np.nan, small_dataset.kpis.values)
+        flat = observed.reshape(-1, small_dataset.kpis.n_kpis)
+        lo = np.nanmin(flat, axis=0)
+        hi = np.nanmax(flat, axis=0)
+        for k in range(small_dataset.kpis.n_kpis):
+            channel_missing = small_dataset.kpis.missing[:, :, k]
+            imputed = completed.values[:, :, k][channel_missing]
+            assert imputed.min() >= lo[k] - 1e-9
+            assert imputed.max() <= hi[k] + 1e-9
+
+    def test_dae_beats_mean_imputer_on_structured_gaps(self):
+        """Hide whole days of strongly diurnal data; the DAE must
+        reconstruct the daily shape better than a global per-KPI mean."""
+        rng = np.random.default_rng(3)
+        n_sectors, n_weeks, n_kpis = 40, 3, 2
+        hours = np.arange(n_weeks * HOURS_PER_WEEK)
+        diurnal = 1.0 + np.sin(2 * np.pi * (hours % 24) / 24.0)
+        amplitude = rng.uniform(0.5, 2.0, size=(n_sectors, 1, n_kpis))
+        clean = amplitude * diurnal[None, :, None]
+        clean = clean + rng.normal(scale=0.05, size=clean.shape)
+        complete = KPITensor(
+            values=clean, missing=np.zeros(clean.shape, bool)
+        )
+
+        holes = np.zeros(clean.shape, dtype=bool)
+        for sector in range(n_sectors):
+            day = rng.integers(1, complete.time_axis.n_days - 1)
+            holes[sector, day * 24 : (day + 1) * 24, :] = True
+        corrupted_values = clean.copy()
+        corrupted_values[holes] = np.nan
+        corrupted = KPITensor(values=corrupted_values, missing=holes)
+
+        config = DAEImputerConfig(
+            n_encoder_layers=3, epochs=40, batch_size=32, batches_per_epoch=8,
+            learning_rate=1e-3, seed=2,
+        )
+        dae_out = DAEImputer(config).fit_transform(corrupted)
+        mean_out = MeanImputer().fit_transform(corrupted)
+
+        truth = complete.values[holes]
+        dae_error = np.mean((dae_out.values[holes] - truth) ** 2)
+        mean_error = np.mean((mean_out.values[holes] - truth) ** 2)
+        assert dae_error < mean_error

@@ -1,0 +1,113 @@
+"""White-box tests for the DAE imputer internals (normalisation, batch
+assembly, corruption protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.tensor import HOURS_PER_WEEK, KPITensor
+from repro.imputation.dae import DAEImputer, DAEImputerConfig
+
+
+def _tiny_tensor(rng, n=3, weeks=2, kpis=2, missing_rate=0.1):
+    values = rng.normal(loc=4.0, scale=2.0, size=(n, weeks * HOURS_PER_WEEK, kpis))
+    missing = rng.random(values.shape) < missing_rate
+    values = values.copy()
+    values[missing] = np.nan
+    return KPITensor(values=values, missing=missing)
+
+
+class TestNormalisation:
+    def test_statistics_ignore_missing(self, rng):
+        tensor = _tiny_tensor(rng)
+        imputer = DAEImputer(DAEImputerConfig(epochs=1, batches_per_epoch=1,
+                                              batch_size=4, seed=0))
+        imputer._fit_normalisation(tensor)
+        observed = np.where(tensor.missing, np.nan, tensor.values)
+        expected_mean = np.nanmean(observed.reshape(-1, 2), axis=0)
+        np.testing.assert_allclose(imputer._mean, expected_mean)
+
+    def test_roundtrip(self, rng):
+        tensor = _tiny_tensor(rng)
+        imputer = DAEImputer(DAEImputerConfig(epochs=1, batches_per_epoch=1,
+                                              batch_size=4, seed=0))
+        imputer._fit_normalisation(tensor)
+        data = rng.normal(size=(5, 7, 2))
+        np.testing.assert_allclose(
+            imputer._denormalise(imputer._normalise(data)), data, atol=1e-12
+        )
+
+    def test_constant_channel_no_division_by_zero(self):
+        values = np.full((2, HOURS_PER_WEEK, 1), 3.0)
+        tensor = KPITensor(values=values, missing=np.zeros(values.shape, bool))
+        imputer = DAEImputer(DAEImputerConfig(epochs=1, batches_per_epoch=1,
+                                              batch_size=2, seed=0))
+        imputer._fit_normalisation(tensor)
+        assert imputer._std[0] == 1.0
+
+
+class TestBatchAssembly:
+    def test_shapes_and_masks(self, rng):
+        tensor = _tiny_tensor(rng)
+        config = DAEImputerConfig(epochs=1, batches_per_epoch=1, batch_size=6, seed=0)
+        imputer = DAEImputer(config)
+        imputer._fit_normalisation(tensor)
+        filled = imputer._normalise(tensor.forward_filled())
+        original = imputer._normalise(np.where(tensor.missing, np.nan, tensor.values))
+        observed = ~tensor.missing
+        sectors = rng.integers(0, 3, size=6)
+        weeks = rng.integers(0, 2, size=6)
+        corrupted, target, loss_mask = imputer._make_batch(
+            filled, original, observed, sectors, weeks, rng
+        )
+        width = HOURS_PER_WEEK * 2
+        assert corrupted.shape == (6, width)
+        assert target.shape == (6, width)
+        assert loss_mask.shape == (6, width)
+        assert not np.isnan(corrupted).any()
+        assert not np.isnan(target).any()
+
+    def test_loss_mask_matches_observed(self, rng):
+        tensor = _tiny_tensor(rng)
+        config = DAEImputerConfig(epochs=1, batches_per_epoch=1, batch_size=2, seed=0)
+        imputer = DAEImputer(config)
+        imputer._fit_normalisation(tensor)
+        filled = imputer._normalise(tensor.forward_filled())
+        original = imputer._normalise(np.where(tensor.missing, np.nan, tensor.values))
+        observed = ~tensor.missing
+        sectors = np.array([1, 2])
+        weeks = np.array([0, 1])
+        __, __, loss_mask = imputer._make_batch(
+            filled, original, observed, sectors, weeks, rng
+        )
+        for row, (sector, week) in enumerate(zip(sectors, weeks)):
+            lo = week * HOURS_PER_WEEK
+            expected = observed[sector, lo : lo + HOURS_PER_WEEK, :].reshape(-1)
+            np.testing.assert_array_equal(loss_mask[row], expected)
+
+    def test_extra_corruption_changes_inputs(self, rng):
+        """With max corruption the batch must contain forward-filled
+        stretches that differ from the clean slice."""
+        tensor = _tiny_tensor(rng, missing_rate=0.0)
+        config = DAEImputerConfig(epochs=1, batches_per_epoch=1, batch_size=16,
+                                  max_extra_corruption=0.5, seed=0)
+        imputer = DAEImputer(config)
+        imputer._fit_normalisation(tensor)
+        filled = imputer._normalise(tensor.forward_filled())
+        original = filled.copy()
+        observed = np.ones(tensor.missing.shape, dtype=bool)
+        sectors = rng.integers(0, 3, size=16)
+        weeks = rng.integers(0, 2, size=16)
+        corrupted, target, __ = imputer._make_batch(
+            filled, original, observed, sectors, weeks, rng
+        )
+        assert not np.allclose(corrupted, target)
+
+
+class TestFitValidation:
+    def test_needs_one_week(self, rng):
+        values = rng.normal(size=(2, 100, 2))
+        tensor = KPITensor(values=values, missing=np.zeros(values.shape, bool))
+        with pytest.raises(ValueError):
+            DAEImputer(DAEImputerConfig(epochs=1)).fit(tensor)

@@ -1,0 +1,107 @@
+"""End-to-end integration tests: generator -> cleaning -> scoring ->
+forecasting -> evaluation, and the CLI front end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DAEImputer,
+    DAEImputerConfig,
+    GeneratorConfig,
+    SweepGrid,
+    SweepRunner,
+    TelemetryGenerator,
+    attach_scores,
+    filter_sectors,
+)
+from repro.cli import main as cli_main
+from repro.core.experiment import mean_lift_by
+from repro.data.store import load_result_table
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline_results(self):
+        """Run the whole paper pipeline once on a small network."""
+        config = GeneratorConfig(n_towers=25, n_weeks=18, seed=17)
+        dataset = TelemetryGenerator(config).generate()
+        dataset, kept = filter_sectors(dataset)
+        imputer = DAEImputer(DAEImputerConfig(epochs=3, batches_per_epoch=6, seed=0))
+        dataset.kpis = imputer.fit_transform(dataset.kpis)
+        dataset = attach_scores(dataset)
+        runner = SweepRunner(dataset, target="hot", n_estimators=5,
+                             n_training_days=4, seed=0)
+        grid = SweepGrid(
+            models=("Random", "Average", "RF-F1"),
+            t_days=(58, 72), horizons=(3, 7), windows=(7,),
+        )
+        return runner.run(grid), kept
+
+    def test_every_cell_evaluated(self, pipeline_results):
+        results, __ = pipeline_results
+        assert len(results) == 3 * 2 * 2
+
+    def test_informed_models_beat_random(self, pipeline_results):
+        results, __ = pipeline_results
+        by_model = mean_lift_by(results, "h")
+
+        def mean_over_h(model):
+            vals = [v["mean_lift"] for (m, __), v in by_model.items()
+                    if m == model and np.isfinite(v["mean_lift"])]
+            return np.mean(vals) if vals else np.nan
+
+        random_lift = mean_over_h("Random")
+        average_lift = mean_over_h("Average")
+        rf_lift = mean_over_h("RF-F1")
+        assert average_lift > random_lift
+        assert rf_lift > random_lift
+
+    def test_sector_filter_removed_dead_sectors(self, pipeline_results):
+        __, kept = pipeline_results
+        assert 0 < kept.sum() < kept.size
+
+
+class TestCLI:
+    def test_generate_analyze_forecast_sweep(self, tmp_path, capsys):
+        data_path = str(tmp_path / "net.npz")
+        assert cli_main([
+            "generate", "--towers", "12", "--weeks", "10",
+            "--seed", "3", "--out", data_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        assert cli_main([
+            "analyze", "--data", data_path, "--impute-epochs", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "weekly patterns" in out
+        assert "hot rates" in out
+        assert "spatial correlation" in out
+
+        assert cli_main([
+            "forecast", "--data", data_path, "--impute-epochs", "1",
+            "--t-day", "40", "--horizons", "1", "3",
+            "--estimators", "3", "--training-days", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "RF-F1" in out
+
+        results_path = str(tmp_path / "rows.jsonl")
+        assert cli_main([
+            "sweep", "--data", data_path, "--impute-epochs", "1",
+            "--n-t", "2", "--horizons", "2", "--windows", "3",
+            "--estimators", "3", "--training-days", "2",
+            "--out", results_path,
+        ]) == 0
+        from repro.core.experiment import ALL_MODEL_NAMES
+
+        rows = load_result_table(results_path)
+        assert len(rows) == len(ALL_MODEL_NAMES) * 2  # all models x 2 t-days
+        assert {"model", "t", "h", "w", "lift"} <= set(rows[0])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["frobnicate"])

@@ -1,0 +1,95 @@
+"""Tests for repro.ml.forest."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+
+
+def _blobs(rng, n=300, p=8):
+    X = rng.normal(size=(n, p))
+    y = ((X[:, 1] + 0.5 * X[:, 4]) > 0).astype(int)
+    return X, y
+
+
+class TestRandomForest:
+    def test_fits_and_predicts(self, rng):
+        X, y = _blobs(rng)
+        forest = RandomForestClassifier(n_estimators=15, random_state=0).fit(X, y)
+        assert (forest.predict(X) == y).mean() > 0.9
+
+    def test_probabilities_simplex(self, rng):
+        X, y = _blobs(rng)
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-10)
+        assert np.all(proba >= 0)
+
+    def test_generalisation_beats_single_tree_variance(self, rng):
+        X, y = _blobs(rng, n=500)
+        forest = RandomForestClassifier(n_estimators=25, random_state=3).fit(
+            X[:350], y[:350]
+        )
+        assert (forest.predict(X[350:]) == y[350:]).mean() > 0.85
+
+    def test_feature_importances_highlight_signal(self, rng):
+        X, y = _blobs(rng, n=600)
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        top_two = set(np.argsort(-forest.feature_importances_)[:2])
+        assert top_two == {1, 4}
+
+    def test_deterministic_given_seed(self, rng):
+        X, y = _blobs(rng)
+        f1 = RandomForestClassifier(n_estimators=5, random_state=9).fit(X, y)
+        f2 = RandomForestClassifier(n_estimators=5, random_state=9).fit(X, y)
+        np.testing.assert_array_equal(f1.predict_proba(X), f2.predict_proba(X))
+
+    def test_different_seeds_differ(self, rng):
+        X, y = _blobs(rng)
+        f1 = RandomForestClassifier(n_estimators=5, random_state=1).fit(X, y)
+        f2 = RandomForestClassifier(n_estimators=5, random_state=2).fit(X, y)
+        assert not np.array_equal(f1.predict_proba(X), f2.predict_proba(X))
+
+    def test_oob_probabilities(self, rng):
+        X, y = _blobs(rng, n=250)
+        forest = RandomForestClassifier(
+            n_estimators=30, oob_score=True, random_state=0
+        ).fit(X, y)
+        covered = ~np.isnan(forest.oob_proba_[:, 0])
+        assert covered.mean() > 0.9
+        oob_pred = np.argmax(forest.oob_proba_[covered], axis=1)
+        assert (oob_pred == y[covered]).mean() > 0.8
+
+    def test_no_bootstrap_mode(self, rng):
+        X, y = _blobs(rng)
+        forest = RandomForestClassifier(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(X, y)
+        assert (forest.predict(X) == y).mean() > 0.9
+
+    def test_single_class_bootstrap_handled(self, rng):
+        # Tiny imbalanced set: some bootstrap resamples will miss the
+        # rare class entirely; the forest must still align probabilities.
+        X = rng.normal(size=(30, 3))
+        y = np.zeros(30, dtype=int)
+        y[:2] = 1
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (30, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_estimator_count(self, rng):
+        X, y = _blobs(rng, n=80)
+        forest = RandomForestClassifier(n_estimators=7, random_state=0).fit(X, y)
+        assert len(forest.estimators_) == 7
+
+    def test_validation(self, rng):
+        X, y = _blobs(rng, n=40)
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(X[:5], y[:4])
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(X)

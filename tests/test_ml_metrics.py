@@ -1,0 +1,161 @@
+"""Tests for repro.ml.metrics — ranking evaluation measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    average_precision,
+    expected_random_average_precision,
+    lift_over_random,
+    precision_recall_curve,
+    relative_improvement,
+)
+
+
+def _brute_force_ap(scores, labels):
+    """Reference AP: direct definition, stable descending order."""
+    order = np.argsort(-np.asarray(scores), kind="stable")
+    ranked = np.asarray(labels)[order]
+    n_pos = ranked.sum()
+    hits = 0
+    total = 0.0
+    for rank, rel in enumerate(ranked, start=1):
+        if rel:
+            hits += 1
+            total += hits / rank
+    return total / n_pos
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert average_precision(scores, labels) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([0, 0, 1, 1])
+        # positives at ranks 3 and 4: (1/3 + 2/4) / 2
+        assert average_precision(scores, labels) == pytest.approx((1 / 3 + 0.5) / 2)
+
+    def test_no_positives_nan(self):
+        assert np.isnan(average_precision(np.array([0.5, 0.2]), np.array([0, 0])))
+
+    def test_all_positives_one(self):
+        assert average_precision(np.array([0.5, 0.2]), np.array([1, 1])) == 1.0
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(20):
+            scores = rng.random(50)
+            labels = (rng.random(50) < 0.3).astype(int)
+            if labels.sum() == 0:
+                continue
+            assert average_precision(scores, labels) == pytest.approx(
+                _brute_force_ap(scores, labels)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            average_precision(np.array([0.5]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            average_precision(np.zeros(0), np.zeros(0))
+        with pytest.raises(ValueError):
+            average_precision(np.array([0.5]), np.array([2]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_property_bounds_and_monotone_shift(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(30)
+        labels = (rng.random(30) < 0.4).astype(int)
+        if labels.sum() == 0:
+            return
+        ap = average_precision(scores, labels)
+        assert 0.0 < ap <= 1.0 + 1e-9
+        # Monotone transform of scores must not change AP.
+        ap2 = average_precision(scores * 10 + 3, labels)
+        assert ap2 == pytest.approx(ap)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_property_permutation_invariance(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(25)
+        # distinct scores so tie-breaking cannot differ across orders
+        scores = np.argsort(scores).astype(float)
+        labels = (rng.random(25) < 0.5).astype(int)
+        if labels.sum() == 0:
+            return
+        perm = rng.permutation(25)
+        assert average_precision(scores, labels) == pytest.approx(
+            average_precision(scores[perm], labels[perm])
+        )
+
+
+class TestExpectedRandomAP:
+    def test_matches_simulation(self, rng):
+        n, n_pos = 200, 30
+        labels = np.zeros(n, dtype=int)
+        labels[:n_pos] = 1
+        aps = []
+        for _ in range(300):
+            scores = rng.random(n)
+            aps.append(average_precision(scores, labels))
+        simulated = np.mean(aps)
+        expected = expected_random_average_precision(n, n_pos)
+        assert expected == pytest.approx(simulated, rel=0.05)
+
+    def test_degenerate(self):
+        assert np.isnan(expected_random_average_precision(10, 0))
+        assert np.isnan(expected_random_average_precision(0, 0))
+
+
+class TestPrecisionRecallCurve:
+    def test_simple_curve(self):
+        scores = np.array([0.9, 0.7, 0.5, 0.3])
+        labels = np.array([1, 0, 1, 0])
+        precision, recall, thresholds = precision_recall_curve(scores, labels)
+        np.testing.assert_allclose(precision, [1.0, 0.5, 2 / 3, 0.5])
+        np.testing.assert_allclose(recall, [0.5, 0.5, 1.0, 1.0])
+        np.testing.assert_allclose(thresholds, [0.9, 0.7, 0.5, 0.3])
+
+    def test_ties_collapsed(self):
+        scores = np.array([0.5, 0.5, 0.5])
+        labels = np.array([1, 0, 1])
+        precision, recall, thresholds = precision_recall_curve(scores, labels)
+        assert thresholds.size == 1
+        assert precision[0] == pytest.approx(2 / 3)
+        assert recall[0] == pytest.approx(1.0)
+
+    def test_recall_monotone_nondecreasing(self, rng):
+        scores = rng.random(60)
+        labels = (rng.random(60) < 0.3).astype(int)
+        if labels.sum() == 0:
+            labels[0] = 1
+        __, recall, __ = precision_recall_curve(scores, labels)
+        assert np.all(np.diff(recall) >= -1e-12)
+
+
+class TestLiftAndDelta:
+    def test_random_scores_lift_near_one(self, rng):
+        labels = (rng.random(500) < 0.2).astype(int)
+        lifts = [lift_over_random(rng.random(500), labels) for _ in range(50)]
+        assert np.mean(lifts) == pytest.approx(1.0, abs=0.15)
+
+    def test_perfect_ranking_lift(self):
+        labels = np.zeros(100, dtype=int)
+        labels[:5] = 1
+        scores = labels.astype(float)
+        expected = 1.0 / expected_random_average_precision(100, 5)
+        assert lift_over_random(scores, labels) == pytest.approx(expected)
+        assert lift_over_random(scores, labels) > 10.0
+
+    def test_relative_improvement(self):
+        assert relative_improvement(5.0, 5.7) == pytest.approx(14.0)
+        assert relative_improvement(2.0, 2.0) == 0.0
+        assert np.isnan(relative_improvement(0.0, 3.0))
+        assert np.isnan(relative_improvement(float("nan"), 3.0))

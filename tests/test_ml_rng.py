@@ -1,0 +1,48 @@
+"""Tests for repro.ml.rng — seeded generator helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_from_int(self):
+        a = ensure_rng(5).random(4)
+        b = ensure_rng(5).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_deterministic_children(self):
+        kids_a = spawn_rngs(42, 3)
+        kids_b = spawn_rngs(42, 3)
+        for a, b in zip(kids_a, kids_b):
+            np.testing.assert_array_equal(a.random(5), b.random(5))
+
+    def test_children_independent(self):
+        kids = spawn_rngs(42, 2)
+        assert not np.array_equal(kids[0].random(8), kids[1].random(8))
+
+    def test_count_zero(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_consumes_parent_state(self):
+        parent = np.random.default_rng(9)
+        before = parent.bit_generator.state["state"]["state"]
+        spawn_rngs(parent, 2)
+        after = parent.bit_generator.state["state"]["state"]
+        assert before != after

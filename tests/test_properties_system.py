@@ -1,0 +1,87 @@
+"""System-level property tests spanning multiple modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import AverageModel, PersistModel, TrendModel
+from repro.core.features import build_feature_tensor
+from repro.core.labels import become_hot_labels
+from repro.core.scoring import ScoreConfig, attach_scores, hourly_score
+from repro.data.tensor import KPITensor
+from repro.ml.metrics import average_precision
+
+
+class TestPermutationInvariance:
+    """Reordering sectors must reorder — not change — every result."""
+
+    def test_scoring_permutes_with_sectors(self, scored_dataset, rng):
+        perm = rng.permutation(scored_dataset.n_sectors)
+        permuted = scored_dataset.select_sectors(perm)
+        config = ScoreConfig()
+        np.testing.assert_allclose(
+            hourly_score(permuted.kpis, config),
+            hourly_score(scored_dataset.kpis, config)[perm],
+        )
+
+    def test_become_labels_permute(self, scored_dataset, rng):
+        perm = rng.permutation(scored_dataset.n_sectors)
+        config = ScoreConfig()
+        full = become_hot_labels(scored_dataset.score_daily, config.hotspot_threshold)
+        permuted = become_hot_labels(
+            scored_dataset.score_daily[perm], config.hotspot_threshold
+        )
+        np.testing.assert_array_equal(permuted, full[perm])
+
+    def test_baselines_permute(self, scored_dataset, rng):
+        perm = rng.permutation(scored_dataset.n_sectors)
+        for model in (PersistModel(), AverageModel(), TrendModel()):
+            full = model.forecast(
+                scored_dataset.score_daily, scored_dataset.labels_daily, 60, 5, 7
+            )
+            permuted = model.forecast(
+                scored_dataset.score_daily[perm],
+                scored_dataset.labels_daily[perm],
+                60, 5, 7,
+            )
+            np.testing.assert_allclose(permuted, full[perm])
+
+    def test_feature_tensor_permutes(self, scored_dataset, rng):
+        perm = rng.permutation(scored_dataset.n_sectors)
+        config = ScoreConfig()
+        full = build_feature_tensor(scored_dataset, config)
+        permuted = build_feature_tensor(scored_dataset.select_sectors(perm), config)
+        np.testing.assert_allclose(permuted.values, full.values[perm])
+
+
+class TestScaleInvariances:
+    def test_score_invariant_to_kpi_units(self, rng):
+        """Scaling a KPI channel and its threshold together leaves the
+        score unchanged (Eq. 1 only compares K to eps)."""
+        values = rng.random((3, 48, 2)) * 2
+        tensor = KPITensor(values=values)
+        config = ScoreConfig(weights=(1.0, 2.0), thresholds=(0.5, 0.8),
+                             hotspot_threshold=0.3)
+        scaled_tensor = KPITensor(values=values * np.array([10.0, 0.5]))
+        scaled_config = ScoreConfig(weights=(1.0, 2.0), thresholds=(5.0, 0.4),
+                                    hotspot_threshold=0.3)
+        np.testing.assert_allclose(
+            hourly_score(tensor, config), hourly_score(scaled_tensor, scaled_config)
+        )
+
+    def test_average_precision_invariant_to_score_scale(self, rng):
+        scores = rng.random(40)
+        labels = (rng.random(40) < 0.3).astype(int)
+        if labels.sum() == 0:
+            labels[0] = 1
+        base = average_precision(scores, labels)
+        assert average_precision(scores * 1e6, labels) == pytest.approx(base)
+        assert average_precision(scores - 55.5, labels) == pytest.approx(base)
+
+
+class TestPipelineDeterminism:
+    def test_attach_scores_idempotent(self, scored_dataset):
+        before = scored_dataset.score_daily.copy()
+        attach_scores(scored_dataset, ScoreConfig())
+        np.testing.assert_array_equal(scored_dataset.score_daily, before)

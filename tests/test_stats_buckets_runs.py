@@ -1,0 +1,128 @@
+"""Tests for repro.stats.buckets and repro.stats.runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.buckets import LogBuckets, bucket_indices
+from repro.stats.runs import (
+    run_length_histogram,
+    run_lengths,
+    runs_decode,
+    runs_encode,
+)
+
+
+class TestLogBuckets:
+    def test_default_axis_matches_paper(self):
+        buckets = LogBuckets()
+        assert buckets.labels == [
+            "0", "0.1", "0.2", "0.4", "0.8", "1.6", "3", "6", "12", "25",
+            "51", "102", "204",
+        ]
+        assert buckets.n_buckets == 13
+
+    def test_zero_goes_to_bucket_zero(self):
+        idx = LogBuckets().assign(np.array([0.0, 0.05, 0.1]))
+        np.testing.assert_array_equal(idx, [0, 1, 1])
+
+    def test_edges_are_inclusive_upper(self):
+        buckets = LogBuckets()
+        idx = buckets.assign(np.array([0.2, 0.2000001, 204.0]))
+        assert idx[0] == 2
+        assert idx[1] == 3
+        assert idx[2] == 12
+
+    def test_overflow_clipped_to_last(self):
+        assert LogBuckets().assign(np.array([1e6]))[0] == 12
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            LogBuckets().assign(np.array([-1.0]))
+
+    def test_invalid_edges_raise(self):
+        with pytest.raises(ValueError):
+            LogBuckets(edges=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            LogBuckets(edges=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            LogBuckets(edges=())
+
+    def test_bucket_indices_wrapper(self):
+        np.testing.assert_array_equal(
+            bucket_indices(np.array([0.0, 5.0])), LogBuckets().assign(np.array([0.0, 5.0]))
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0, 1e4), min_size=1, max_size=50))
+    def test_property_indices_in_range(self, distances):
+        buckets = LogBuckets()
+        idx = buckets.assign(np.asarray(distances))
+        assert np.all(idx >= 0)
+        assert np.all(idx < buckets.n_buckets)
+
+
+class TestRuns:
+    def test_encode_simple(self):
+        assert runs_encode(np.array([1, 1, 0, 1])) == [(1, 2), (0, 1), (1, 1)]
+
+    def test_encode_empty(self):
+        assert runs_encode(np.zeros(0)) == []
+
+    def test_encode_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            runs_encode(np.array([0, 2]))
+
+    def test_decode_validates(self):
+        with pytest.raises(ValueError):
+            runs_decode([(2, 3)])
+        with pytest.raises(ValueError):
+            runs_decode([(1, 0)])
+
+    def test_run_lengths_of_value(self):
+        seq = np.array([1, 1, 0, 0, 0, 1])
+        np.testing.assert_array_equal(run_lengths(seq, 1), [2, 1])
+        np.testing.assert_array_equal(run_lengths(seq, 0), [3])
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=200))
+    def test_property_roundtrip(self, bits):
+        arr = np.asarray(bits, dtype=np.int8)
+        np.testing.assert_array_equal(runs_decode(runs_encode(arr)), arr)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    def test_property_run_lengths_sum_to_ones(self, bits):
+        arr = np.asarray(bits)
+        assert run_lengths(arr).sum() == arr.sum()
+
+
+class TestRunLengthHistogram:
+    def test_single_sequence(self):
+        lengths, rel = run_length_histogram(np.array([1, 0, 1, 1, 0, 1, 1, 1]))
+        np.testing.assert_array_equal(lengths, [1, 2, 3])
+        np.testing.assert_allclose(rel, [1 / 3, 1 / 3, 1 / 3])
+
+    def test_matrix_pooled(self):
+        mat = np.array([[1, 0, 0], [1, 1, 0]])
+        lengths, rel = run_length_histogram(mat)
+        np.testing.assert_array_equal(lengths, [1, 2])
+        np.testing.assert_allclose(rel, [0.5, 0.5])
+
+    def test_no_runs(self):
+        lengths, rel = run_length_histogram(np.zeros((3, 5), dtype=int))
+        assert lengths.size == 0
+        assert rel.size == 0
+
+    def test_max_length_clips(self):
+        lengths, rel = run_length_histogram(np.array([1] * 10), max_length=4)
+        np.testing.assert_array_equal(lengths, [1, 2, 3, 4])
+        assert rel[-1] == pytest.approx(1.0)
+
+    def test_normalised(self, rng):
+        mat = (rng.random((20, 100)) < 0.3).astype(int)
+        __, rel = run_length_histogram(mat)
+        assert rel.sum() == pytest.approx(1.0)

@@ -1,0 +1,99 @@
+"""Tests for repro.stats.correlation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.correlation import (
+    pairwise_pearson,
+    pearson,
+    pearson_matrix_to_targets,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10, dtype=float)
+        assert pearson(x, 2 * x + 3) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10, dtype=float)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self):
+        assert pearson(np.ones(5), np.arange(5)) == 0.0
+        assert pearson(np.arange(5), np.ones(5)) == 0.0
+
+    def test_matches_numpy(self, rng):
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson(np.arange(3), np.arange(4))
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            pearson(np.array([1.0]), np.array([2.0]))
+
+
+class TestPairwisePearson:
+    def test_matches_single_pearson(self, rng):
+        ref = rng.normal(size=30)
+        cands = rng.normal(size=(8, 30))
+        got = pairwise_pearson(ref, cands)
+        expected = [pearson(ref, row) for row in cands]
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_constant_rows_yield_zero(self, rng):
+        ref = rng.normal(size=10)
+        cands = np.vstack([np.ones(10), rng.normal(size=10)])
+        got = pairwise_pearson(ref, cands)
+        assert got[0] == 0.0
+        assert got[1] != 0.0
+
+    def test_shape_errors(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_pearson(rng.normal(size=5), rng.normal(size=(3, 4)))
+        with pytest.raises(ValueError):
+            pairwise_pearson(rng.normal(size=5), rng.normal(size=5))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 20), st.integers(1, 6), st.integers(0, 1000))
+    def test_property_bounded(self, m, k, seed):
+        rng = np.random.default_rng(seed)
+        values = pairwise_pearson(rng.normal(size=m), rng.normal(size=(k, m)))
+        assert np.all(values >= -1.0 - 1e-9)
+        assert np.all(values <= 1.0 + 1e-9)
+
+
+class TestPearsonMatrix:
+    def test_matches_corrcoef_for_nonconstant(self, rng):
+        series = rng.normal(size=(6, 40))
+        got = pearson_matrix_to_targets(series)
+        expected = np.corrcoef(series)
+        np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_symmetric(self, rng):
+        series = rng.normal(size=(5, 25))
+        corr = pearson_matrix_to_targets(series)
+        np.testing.assert_allclose(corr, corr.T, atol=1e-12)
+
+    def test_diagonal_ones_for_variable_rows(self, rng):
+        series = rng.normal(size=(4, 30))
+        corr = pearson_matrix_to_targets(series)
+        np.testing.assert_allclose(np.diag(corr), 1.0, atol=1e-12)
+
+    def test_constant_row_zeroed(self, rng):
+        series = rng.normal(size=(3, 20))
+        series[1] = 7.0
+        corr = pearson_matrix_to_targets(series)
+        assert np.all(corr[1, :] == 0.0)
+        assert np.all(corr[:, 1] == 0.0)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            pearson_matrix_to_targets(np.zeros(5))

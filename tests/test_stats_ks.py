@@ -1,0 +1,106 @@
+"""Tests for repro.stats.ks — cross-validated against scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats.ks import KSResult, kolmogorov_sf, ks_two_sample
+
+
+class TestKolmogorovSF:
+    def test_boundary_values(self):
+        assert kolmogorov_sf(0.0) == 1.0
+        assert kolmogorov_sf(10.0) < 1e-12
+
+    def test_monotone_decreasing(self):
+        xs = np.linspace(0.05, 3.0, 60)
+        values = [kolmogorov_sf(x) for x in xs]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_matches_scipy_kstwobign(self):
+        for x in (0.3, 0.5, 0.8, 1.0, 1.36, 1.63, 2.0):
+            assert kolmogorov_sf(x) == pytest.approx(
+                scipy_stats.kstwobign.sf(x), abs=1e-8
+            )
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            kolmogorov_sf(-0.1)
+
+
+class TestKSTwoSample:
+    def test_identical_samples_zero_statistic(self):
+        x = np.arange(50, dtype=float)
+        result = ks_two_sample(x, x)
+        assert result.statistic == 0.0
+        assert result.pvalue == pytest.approx(1.0)
+
+    def test_disjoint_samples_full_statistic(self):
+        result = ks_two_sample(np.arange(10), np.arange(100, 110))
+        assert result.statistic == pytest.approx(1.0)
+        assert result.pvalue < 1e-4
+
+    def test_statistic_matches_scipy(self, rng):
+        x = rng.normal(size=83)
+        y = rng.normal(loc=0.4, size=71)
+        ours = ks_two_sample(x, y)
+        theirs = scipy_stats.ks_2samp(x, y, mode="asymp")
+        assert ours.statistic == pytest.approx(theirs.statistic, abs=1e-12)
+        # scipy >= 1.5 uses the finite-n one-sample kstwo distribution in
+        # "asymp" mode; ours is the classical kstwobign asymptotic.  The
+        # two approximations agree to within a modest relative factor.
+        assert ours.pvalue == pytest.approx(theirs.pvalue, rel=0.35)
+        # Exact agreement with the classical asymptotic formula.
+        effective_n = 83 * 71 / (83 + 71)
+        classical = scipy_stats.kstwobign.sf(np.sqrt(effective_n) * ours.statistic)
+        assert ours.pvalue == pytest.approx(classical, rel=1e-8)
+
+    def test_same_distribution_rarely_rejects(self, rng):
+        rejections = 0
+        for _ in range(40):
+            x, y = rng.normal(size=60), rng.normal(size=60)
+            if ks_two_sample(x, y).rejects_null(0.01):
+                rejections += 1
+        assert rejections <= 3
+
+    def test_shifted_distribution_rejects(self, rng):
+        x = rng.normal(size=300)
+        y = rng.normal(loc=1.0, size=300)
+        assert ks_two_sample(x, y).rejects_null(0.001)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ks_two_sample(np.zeros(0), np.ones(5))
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            ks_two_sample(np.array([1.0, np.nan]), np.ones(5))
+
+    def test_result_fields(self):
+        result = ks_two_sample(np.arange(7), np.arange(9))
+        assert isinstance(result, KSResult)
+        assert (result.n1, result.n2) == (7, 9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=60),
+        st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=60),
+    )
+    def test_property_statistic_and_pvalue_bounds(self, xs, ys):
+        result = ks_two_sample(np.asarray(xs), np.asarray(ys))
+        assert 0.0 <= result.statistic <= 1.0
+        assert 0.0 <= result.pvalue <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=40))
+    def test_property_symmetry(self, xs):
+        x = np.asarray(xs)
+        y = x + 0.5
+        forward = ks_two_sample(x, y)
+        backward = ks_two_sample(y, x)
+        assert forward.statistic == pytest.approx(backward.statistic)
+        assert forward.pvalue == pytest.approx(backward.pvalue)

@@ -1,0 +1,318 @@
+"""Tests for repro.synth — generator, geography, calendar, profiles, events."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.tensor import HOURS_PER_DAY, HOURS_PER_WEEK
+from repro.synth import (
+    GeneratorConfig,
+    KPI_NAMES,
+    LandUse,
+    LoadProfileLibrary,
+    TelemetryGenerator,
+    build_calendar,
+    default_holidays,
+)
+from repro.synth.calendar_info import CalendarConfig
+from repro.synth.config import EventConfig, MissingnessConfig
+from repro.synth.events import EventSimulator
+from repro.synth.geography import NetworkGeographyBuilder
+from repro.synth.missing import inject_missingness
+
+
+class TestGeneratorConfig:
+    def test_derived_sizes(self):
+        config = GeneratorConfig(n_towers=10, sectors_per_tower=3, n_weeks=4)
+        assert config.n_sectors == 30
+        assert config.n_hours == 4 * 168
+        assert config.n_days == 28
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_towers=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_weeks=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(chronic_hot_fraction=1.0)
+
+
+class TestGeography:
+    def test_build_shapes(self):
+        config = GeneratorConfig(n_towers=40, n_weeks=2, seed=0)
+        geo = NetworkGeographyBuilder(config, np.random.default_rng(0)).build()
+        assert geo.n_sectors == 120
+        assert len(np.unique(geo.tower_ids)) == 40
+
+    def test_same_tower_same_position(self):
+        config = GeneratorConfig(n_towers=20, n_weeks=2, seed=1)
+        geo = NetworkGeographyBuilder(config, np.random.default_rng(1)).build()
+        for tower in range(20):
+            members = geo.tower_ids == tower
+            positions = geo.positions_km[members]
+            assert np.allclose(positions, positions[0])
+
+    def test_land_use_within_range(self):
+        config = GeneratorConfig(n_towers=50, n_weeks=2, seed=2)
+        geo = NetworkGeographyBuilder(config, np.random.default_rng(2)).build()
+        assert set(np.unique(geo.land_use)) <= {int(v) for v in LandUse}
+
+    def test_rural_towers_exist(self):
+        config = GeneratorConfig(n_towers=60, n_weeks=2, seed=3)
+        geo = NetworkGeographyBuilder(config, np.random.default_rng(3)).build()
+        assert (geo.land_use == int(LandUse.RURAL)).any()
+
+    def test_positions_inside_map(self):
+        config = GeneratorConfig(n_towers=50, n_weeks=2, map_size_km=100.0, seed=4)
+        geo = NetworkGeographyBuilder(config, np.random.default_rng(4)).build()
+        assert np.all(geo.positions_km >= 0)
+        assert np.all(geo.positions_km <= 100.0)
+
+
+class TestCalendar:
+    def test_shape_and_columns(self, small_dataset):
+        cal = small_dataset.calendar
+        assert cal.shape[1] == 5
+        assert set(np.unique(cal[:, 0])) == set(range(24))
+        assert set(np.unique(cal[:, 1])) <= set(range(7))
+        assert set(np.unique(cal[:, 3])) <= {0.0, 1.0}
+
+    def test_weekend_consistent_with_dow(self, small_dataset):
+        cal = small_dataset.calendar
+        np.testing.assert_array_equal(cal[:, 3], (cal[:, 1] >= 5).astype(float))
+
+    def test_default_holidays_clipped(self):
+        assert default_holidays(10) == (8,)
+        assert 116 in default_holidays(126)
+
+    def test_holiday_flag_upsampled_hourly(self, small_dataset):
+        cal = small_dataset.calendar
+        holiday_days = np.unique(
+            np.arange(cal.shape[0])[cal[:, 4] == 1.0] // HOURS_PER_DAY
+        )
+        for day in holiday_days:
+            day_hours = cal[day * HOURS_PER_DAY : (day + 1) * HOURS_PER_DAY, 4]
+            assert day_hours.all()
+
+    def test_invalid_holiday_offsets_raise(self, small_dataset):
+        config = CalendarConfig(holidays=(999,))
+        with pytest.raises(ValueError):
+            build_calendar(small_dataset.time_axis, config)
+
+
+class TestProfiles:
+    def test_diurnal_normalised(self):
+        lib = LoadProfileLibrary()
+        for land_use in LandUse:
+            profile = lib.diurnal(int(land_use))
+            assert profile.shape == (24,)
+            assert profile.max() == pytest.approx(1.0)
+            assert profile.min() > 0.0
+
+    def test_business_peaks_in_office_hours(self):
+        lib = LoadProfileLibrary()
+        profile = lib.diurnal(int(LandUse.BUSINESS))
+        assert 9 <= np.argmax(profile) <= 18
+
+    def test_nightlife_peaks_at_night(self):
+        lib = LoadProfileLibrary()
+        profile = lib.diurnal(int(LandUse.NIGHTLIFE))
+        peak = np.argmax(profile)
+        assert peak >= 21 or peak <= 3
+
+    def test_business_weekly_drops_on_weekend(self):
+        lib = LoadProfileLibrary()
+        weekly = lib.weekly(int(LandUse.BUSINESS))
+        assert weekly[5] < 0.5 * weekly[:5].mean()
+        assert weekly[6] < 0.5 * weekly[:5].mean()
+
+    def test_hourly_load_applies_holiday_factor(self):
+        lib = LoadProfileLibrary()
+        hours = np.zeros(48, dtype=np.int64)
+        hours[:] = 12
+        dow = np.zeros(48, dtype=np.int64)
+        holiday = np.zeros(48, dtype=bool)
+        holiday[24:] = True
+        load = lib.hourly_load(int(LandUse.COMMERCIAL), hours, dow, holiday)
+        factor = lib.holiday_factor(int(LandUse.COMMERCIAL))
+        assert load[30] == pytest.approx(load[0] * factor)
+
+
+class TestEvents:
+    def _simulate(self, **overrides):
+        config = EventConfig(**overrides)
+        tower_ids = np.repeat(np.arange(10), 3)
+        return EventSimulator(config, np.random.default_rng(0)).simulate(
+            tower_ids, 6 * 168
+        )
+
+    def test_shapes(self):
+        events = self._simulate()
+        assert events.failure.shape == (30, 1008)
+        assert events.onset_days.shape == (30, 42)
+
+    def test_failures_shared_across_tower(self):
+        events = self._simulate(failure_rate_per_tower_day=0.2)
+        failing = events.failure > 0
+        # every sector triple on a tower shares the exact failure pattern
+        for tower in range(10):
+            members = failing[tower * 3 : (tower + 1) * 3]
+            np.testing.assert_array_equal(members[0], members[1])
+            np.testing.assert_array_equal(members[0], members[2])
+
+    def test_precursor_precedes_onset(self):
+        events = self._simulate(onset_rate_per_sector=3.0)
+        sectors, days = np.nonzero(events.onset_days)
+        assert sectors.size > 0
+        found_ramp = 0
+        for sector, day in zip(sectors, days):
+            if day < 2:
+                continue
+            before = events.precursor[sector, (day - 1) * 24 : day * 24]
+            if before.max() > 0:
+                found_ramp += 1
+        assert found_ramp > 0
+
+    def test_precursor_monotone_toward_onset(self):
+        events = self._simulate(onset_rate_per_sector=3.0, onset_ramp_days=5)
+        sectors, days = np.nonzero(events.onset_days)
+        for sector, day in zip(sectors, days):
+            if day < 6:
+                continue
+            daily_ramp = events.precursor[sector, (day - 5) * 24 : day * 24]
+            daily_means = daily_ramp.reshape(5, 24).mean(axis=1)
+            deltas = np.diff(daily_means)
+            assert np.all(deltas >= -1e-9)
+            break
+
+    def test_degradation_persists_multiple_days(self):
+        events = self._simulate(onset_rate_per_sector=3.0)
+        sectors, days = np.nonzero(events.onset_days)
+        sector, day = sectors[0], days[0]
+        window = events.degradation[sector, day * 24 : (day + 3) * 24]
+        assert (window > 0).mean() > 0.9
+
+    def test_non_multiple_of_24_raises(self):
+        config = EventConfig()
+        with pytest.raises(ValueError):
+            EventSimulator(config, np.random.default_rng(0)).simulate(
+                np.zeros(3, dtype=np.int64), 100
+            )
+
+
+class TestMissingness:
+    def test_rates_in_expected_regime(self):
+        config = MissingnessConfig()
+        mask = inject_missingness((60, 6 * 168, 21), config, np.random.default_rng(0))
+        fraction = mask.mean()
+        assert 0.01 < fraction < 0.2
+
+    def test_hour_slices_cover_all_kpis(self):
+        config = MissingnessConfig(
+            point_rate=0.0, hour_slice_rate=0.05, block_rate_per_week=0.0,
+            dead_sector_fraction=0.0,
+        )
+        mask = inject_missingness((5, 336, 4), config, np.random.default_rng(1))
+        # any missing hour must be missing across every KPI
+        hour_any = mask.any(axis=2)
+        hour_all = mask.all(axis=2)
+        np.testing.assert_array_equal(hour_any, hour_all)
+
+    def test_dead_sectors_fail_weekly_filter(self):
+        config = MissingnessConfig(
+            point_rate=0.0, hour_slice_rate=0.0, block_rate_per_week=0.0,
+            dead_sector_fraction=0.5,
+        )
+        mask = inject_missingness((20, 4 * 168, 3), config, np.random.default_rng(2))
+        weekly = mask.reshape(20, 4, 168, 3).mean(axis=(2, 3))
+        assert (weekly > 0.5).any()
+
+
+class TestTelemetryGenerator:
+    def test_deterministic_for_seed(self):
+        config = GeneratorConfig(n_towers=5, n_weeks=2, seed=42)
+        d1 = TelemetryGenerator(config).generate()
+        d2 = TelemetryGenerator(config).generate()
+        np.testing.assert_array_equal(d1.kpis.missing, d2.kpis.missing)
+        observed = ~d1.kpis.missing
+        np.testing.assert_allclose(d1.kpis.values[observed], d2.kpis.values[observed])
+
+    def test_seed_changes_data(self):
+        d1 = TelemetryGenerator(GeneratorConfig(n_towers=5, n_weeks=2, seed=1)).generate()
+        d2 = TelemetryGenerator(GeneratorConfig(n_towers=5, n_weeks=2, seed=2)).generate()
+        assert not np.array_equal(d1.kpis.missing, d2.kpis.missing)
+
+    def test_kpi_names_and_shape(self, small_dataset):
+        assert small_dataset.kpis.kpi_names == list(KPI_NAMES)
+        assert small_dataset.kpis.n_kpis == 21
+
+    def test_without_missing(self):
+        config = GeneratorConfig(n_towers=5, n_weeks=2, seed=3)
+        data = TelemetryGenerator(config).generate(with_missing=False)
+        assert not data.kpis.missing.any()
+        assert not np.isnan(data.kpis.values).any()
+
+    def test_values_non_negative(self, small_dataset):
+        observed = ~small_dataset.kpis.missing
+        assert np.all(small_dataset.kpis.values[observed] >= 0)
+
+    def test_diurnal_structure_present(self):
+        """Busy-hour KPI levels must exceed night levels on average."""
+        config = GeneratorConfig(n_towers=15, n_weeks=3, seed=6)
+        data = TelemetryGenerator(config).generate(with_missing=False)
+        utilization = data.kpis.values[:, :, 7]  # data_utilization_rate
+        hour = data.time_axis.hour_of_day()
+        day_mean = utilization[:, (hour >= 10) & (hour <= 20)].mean()
+        night_mean = utilization[:, (hour >= 2) & (hour <= 5)].mean()
+        assert day_mean > 1.5 * night_mean
+
+    def test_latent_events_deterministic(self):
+        config = GeneratorConfig(n_towers=5, n_weeks=2, seed=9)
+        gen = TelemetryGenerator(config)
+        e1 = gen.latent_events()
+        e2 = gen.latent_events()
+        np.testing.assert_array_equal(e1.onset_days, e2.onset_days)
+
+
+class TestOnsetWeights:
+    def test_weights_mean_one(self):
+        from repro.synth.generator import TelemetryGenerator as TG
+        import numpy as np
+        base = np.array([0.3, 0.6, 0.9, 1.5])
+        weights = TG._onset_weights(base)
+        assert weights.mean() == pytest.approx(1.0)
+        assert weights[3] > weights[0]
+
+    def test_busy_sectors_get_more_onsets(self):
+        """Persistent degradations must preferentially hit loaded
+        equipment (the mechanism behind the paper's pre-transition
+        score elevation)."""
+        config = GeneratorConfig(n_towers=60, n_weeks=10, seed=4)
+        gen = TelemetryGenerator(config)
+        events = gen.latent_events()
+        data = gen.generate(with_missing=False)
+        mean_load = data.kpis.values[:, :, 7].mean(axis=1)  # utilization proxy
+        onsets_per_sector = events.onset_days.sum(axis=1)
+        busy = mean_load > np.median(mean_load)
+        assert onsets_per_sector[busy].mean() > onsets_per_sector[~busy].mean()
+
+
+class TestConfigValidation:
+    def test_event_config_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            EventConfig(failure_rate_per_tower_day=1.5)
+        with pytest.raises(ValueError):
+            EventConfig(onset_rate_per_sector=-1)
+        with pytest.raises(ValueError):
+            EventConfig(onset_ramp_days=0)
+        with pytest.raises(ValueError):
+            EventConfig(storm_gain=0.5)
+
+    def test_missingness_config_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            MissingnessConfig(point_rate=1.1)
+        with pytest.raises(ValueError):
+            MissingnessConfig(block_rate_per_week=-0.1)
+        with pytest.raises(ValueError):
+            MissingnessConfig(dead_sector_min_weeks=0)

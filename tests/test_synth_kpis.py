@@ -1,0 +1,106 @@
+"""Tests for repro.synth.kpis — the 21-channel KPI catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.kpis import (
+    KPI_CLASSES,
+    KPI_NAMES,
+    PRECURSOR_CHANNELS,
+    KPICatalog,
+    LatentState,
+)
+
+
+def _state(n=4, m=24, **overrides):
+    base = {
+        "load": np.zeros((n, m)),
+        "failure": np.zeros((n, m)),
+        "surge": np.zeros((n, m)),
+        "interference": np.zeros((n, m)),
+        "degradation": np.zeros((n, m)),
+        "precursor": np.zeros((n, m)),
+    }
+    base.update(overrides)
+    return LatentState(**base)
+
+
+def _observe(state):
+    return KPICatalog(np.random.default_rng(0), noise_scale=0.0).observe(state)
+
+
+class TestCatalogStructure:
+    def test_twenty_one_channels(self):
+        assert len(KPI_NAMES) == 21
+        catalog = KPICatalog(np.random.default_rng(0))
+        assert catalog.n_kpis == 21
+
+    def test_classes_partition_channels(self):
+        indices = sorted(i for klass in KPI_CLASSES.values() for i in klass)
+        assert indices == list(range(1, 22))
+
+    def test_paper_channel_meanings(self):
+        """The 1-based indices the paper highlights must carry the
+        documented meanings (Sec. V-D)."""
+        assert KPI_NAMES[6 - 1] == "noise_rise"
+        assert KPI_NAMES[8 - 1] == "data_utilization_rate"
+        assert KPI_NAMES[9 - 1] == "hsdpa_queue_users"
+        assert KPI_NAMES[10 - 1] == "channel_setup_failure"
+        assert KPI_NAMES[12 - 1] == "noise_floor_level"
+        assert KPI_NAMES[14 - 1] == "tti_occupancy"
+
+
+class TestCatalogResponses:
+    def test_values_non_negative(self, rng):
+        state = _state(load=rng.random((4, 24)) * 2)
+        values = KPICatalog(rng).observe(state)
+        assert np.all(values >= 0)
+
+    def test_utilization_monotone_in_load(self):
+        low = _observe(_state(load=np.full((1, 1), 0.3)))
+        high = _observe(_state(load=np.full((1, 1), 0.9)))
+        assert high[0, 0, 7] > low[0, 0, 7]   # data_utilization_rate
+
+    def test_failure_drives_unavailability(self):
+        healthy = _observe(_state())
+        failing = _observe(_state(failure=np.ones((4, 24))))
+        assert failing[0, 0, 20] > healthy[0, 0, 20] + 0.5  # cell_unavailability
+        assert failing[0, 0, 9] > healthy[0, 0, 9]          # channel_setup_failure
+
+    def test_interference_drives_noise_channels(self):
+        quiet = _observe(_state())
+        noisy = _observe(_state(interference=np.ones((4, 24))))
+        assert noisy[0, 0, 5] > quiet[0, 0, 5]    # noise_rise
+        assert noisy[0, 0, 11] > quiet[0, 0, 11]  # noise_floor_level
+
+    def test_precursor_feeds_usage_channels_only_softly(self):
+        """A full ramp on a lightly loaded sector raises usage channels
+        but must not raise failure-ish channels."""
+        calm = _observe(_state(load=np.full((1, 1), 0.3)))
+        ramping = _observe(
+            _state(load=np.full((1, 1), 0.3), precursor=np.full((1, 1), 1.0))
+        )
+        for channel in PRECURSOR_CHANNELS:
+            assert ramping[0, 0, channel] >= calm[0, 0, channel]
+        assert ramping[0, 0, 7] > calm[0, 0, 7]
+        # unavailability untouched by the ramp
+        assert ramping[0, 0, 20] == pytest.approx(calm[0, 0, 20])
+
+    def test_degradation_modulated_by_load(self):
+        """Degradation hurts more under traffic (the 16 h/day mechanism)."""
+        night = _observe(
+            _state(load=np.full((1, 1), 0.1), degradation=np.ones((1, 1)))
+        )
+        day = _observe(
+            _state(load=np.full((1, 1), 0.8), degradation=np.ones((1, 1)))
+        )
+        assert day[0, 0, 16] > night[0, 0, 16]  # voice_blocking
+
+    def test_noise_scale_controls_spread(self):
+        state = _state(n=50, m=50, load=np.full((50, 50), 0.5))
+        quiet = KPICatalog(np.random.default_rng(1), noise_scale=0.0).observe(state)
+        noisy = KPICatalog(np.random.default_rng(1), noise_scale=1.0).observe(state)
+        assert quiet[:, :, 7].std() == pytest.approx(0.0, abs=1e-12)
+        assert noisy[:, :, 7].std() > 0.01
