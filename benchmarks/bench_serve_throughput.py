@@ -1,0 +1,95 @@
+"""Serving-layer throughput: ingest rate and prediction-cache speedup.
+
+The online service (repro.serve) must keep up with hourly KPI feeds and
+answer repeated dashboard queries cheaply.  This bench replays the
+benchmark network through the full serving stack and reports:
+
+* ingest throughput (hourly ticks/second, whole network per tick);
+* uncached predict latency (model load + window assembly + forest);
+* cached predict latency (dictionary hit) and the resulting speedup.
+
+The prediction cache is the serving layer's core optimisation — repeat
+queries within a day must be at least an order of magnitude faster than
+recomputation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _reporting import format_table, report
+from repro.serve import (
+    ModelRegistry,
+    PredictionEngine,
+    StreamIngestor,
+    train_and_register,
+)
+
+TRAIN_DAY, WINDOW = 60, 7
+HORIZONS = (1, 3, 7)
+
+
+def test_serve_ingest_and_predict_latency(benchmark, bench_dataset, hot_runner,
+                                          tmp_path_factory):
+    registry = ModelRegistry(tmp_path_factory.mktemp("bench-registry"))
+    train_and_register(
+        registry=registry, runner=hot_runner, model_names=("RF-F1",),
+        t_day=TRAIN_DAY, horizons=HORIZONS, windows=(WINDOW,),
+    )
+    kpis = bench_dataset.kpis
+
+    def replay_all():
+        ingestor = StreamIngestor.for_dataset(bench_dataset, w_max=WINDOW)
+        engine = PredictionEngine(ingestor, registry, model="RF-F1", window=WINDOW)
+        for hour in range(kpis.n_hours):
+            engine.ingest_hour(
+                kpis.values[:, hour, :],
+                kpis.missing[:, hour, :],
+                bench_dataset.calendar[hour],
+            )
+        return engine
+
+    engine = benchmark.pedantic(replay_all, rounds=1, iterations=1)
+    ingest = engine.telemetry.histogram("ingest_seconds")
+    ticks_per_sec = ingest.count / ingest.total
+
+    # Uncached: clear the cache before every call so each predict pays
+    # for window assembly + the forest walk (model stays warm, as it
+    # would in a long-running service).
+    uncached = []
+    for _ in range(20):
+        engine._cache.clear()
+        start = time.perf_counter()
+        engine.predict(1)
+        uncached.append(time.perf_counter() - start)
+
+    cached = []
+    engine.predict(1)  # prime
+    for _ in range(200):
+        start = time.perf_counter()
+        engine.predict(1)
+        cached.append(time.perf_counter() - start)
+
+    uncached_ms = 1e3 * sorted(uncached)[len(uncached) // 2]
+    cached_ms = 1e3 * sorted(cached)[len(cached) // 2]
+    speedup = uncached_ms / cached_ms
+
+    rows = [
+        ["sectors", str(kpis.n_sectors)],
+        ["hours replayed", str(kpis.n_hours)],
+        ["ingest ticks/sec", f"{ticks_per_sec:,.0f}"],
+        ["ingest p99 (ms)", f"{1e3 * ingest.quantile(0.99):.3f}"],
+        ["predict uncached p50 (ms)", f"{uncached_ms:.3f}"],
+        ["predict cached p50 (ms)", f"{cached_ms:.4f}"],
+        ["cache speedup", f"{speedup:,.0f}x"],
+    ]
+    report(
+        "serve_throughput",
+        "online serving throughput (RF-F1, w=7):\n"
+        + format_table(["metric", "value"], rows),
+    )
+
+    # An hour of the whole network must ingest in well under a second.
+    assert ticks_per_sec > 100
+    # Cached predictions must be at least 10x faster than recomputation.
+    assert speedup >= 10

@@ -21,7 +21,9 @@ Subpackages
 - :mod:`repro.ml` — from-scratch trees, forests, autoencoder, metrics;
 - :mod:`repro.core` — scoring, labels, features, models, sweeps;
 - :mod:`repro.analysis` — temporal/spatial dynamics analyses;
-- :mod:`repro.stats` — KS test, correlations, bucketing, run lengths.
+- :mod:`repro.stats` — KS test, correlations, bucketing, run lengths;
+- :mod:`repro.serve` — online serving: incremental ingest, model
+  registry, cached prediction engine, alerting service.
 """
 
 from repro.analysis import (
@@ -61,9 +63,18 @@ from repro.ml import (
     average_precision,
     lift_over_random,
 )
+from repro.serve import (
+    HotSpotService,
+    ModelKey,
+    ModelRegistry,
+    PredictionEngine,
+    ServeConfig,
+    StreamIngestor,
+    train_and_register,
+)
 from repro.synth import GeneratorConfig, TelemetryGenerator, generate_dataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AverageModel",
@@ -74,11 +85,17 @@ __all__ = [
     "DenoisingAutoencoder",
     "GeneratorConfig",
     "HotSpotForecaster",
+    "HotSpotService",
     "KPITensor",
+    "ModelKey",
+    "ModelRegistry",
     "PersistModel",
+    "PredictionEngine",
     "RandomForestClassifier",
     "RandomModel",
     "ScoreConfig",
+    "ServeConfig",
+    "StreamIngestor",
     "SweepGrid",
     "SweepRunner",
     "TelemetryGenerator",
@@ -103,6 +120,7 @@ __all__ = [
     "save_dataset",
     "spatial_correlation",
     "temporal_stability",
+    "train_and_register",
     "weekly_patterns",
     "weeks_as_hotspot_histogram",
 ]

@@ -1,59 +1,81 @@
 """Command-line front end.
 
-Four subcommands cover the full pipeline::
+Five subcommands cover the full pipeline::
 
     hotspot-repro generate --towers 100 --weeks 18 --out data.npz
     hotspot-repro analyze  --data data.npz
     hotspot-repro forecast --data data.npz --target hot --horizons 1 5 7
     hotspot-repro sweep    --data data.npz --out results.jsonl
+    hotspot-repro serve    --data data.npz --registry models/
 
 ``generate`` writes a synthetic dataset; ``analyze`` prints the Sec. III
 dynamics summaries; ``forecast`` runs a focused comparison of all eight
 models; ``sweep`` runs a configurable (model, t, h, w) grid and persists
-the result rows.
+the result rows; ``serve`` trains and registers a model, then runs the
+online service — replaying the dataset hour-by-hour (or reading JSONL
+operations from stdin with ``--from-stdin``) and emitting hot-spot alert
+events as JSON lines on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import dynamics_report
 from repro.core.experiment import ALL_MODEL_NAMES, SweepGrid, SweepRunner
 from repro.core.scoring import ScoreConfig, attach_scores
 from repro.data.store import load_dataset, save_dataset, save_result_table
+from repro.data.tensor import HOURS_PER_DAY
 from repro.imputation import DAEImputer, DAEImputerConfig, filter_sectors
+from repro.serve import (
+    HotSpotService,
+    ModelRegistry,
+    PredictionEngine,
+    ServeConfig,
+    StreamIngestor,
+    train_and_register,
+)
 from repro.synth import GeneratorConfig, TelemetryGenerator
 
 __all__ = ["main"]
+
+
+def _info(message: str, quiet: bool, file=None) -> None:
+    """Progress/diagnostic line, silenced by --quiet."""
+    if not quiet:
+        print(message, file=file or sys.stdout)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     config = GeneratorConfig(n_towers=args.towers, n_weeks=args.weeks, seed=args.seed)
     dataset = TelemetryGenerator(config).generate()
     path = save_dataset(dataset, args.out)
-    print(f"wrote {dataset.kpis} to {path}")
+    _info(f"wrote {dataset.kpis} to {path}", args.quiet)
     return 0
 
 
-def _prepare(path: str, impute_epochs: int) -> "object":
+def _prepare(path: str, impute_epochs: int, quiet: bool = False, file=None) -> "object":
+    """Load, filter, impute, and score a dataset — the shared front half
+    of every data-consuming subcommand (analyze/forecast/sweep/serve)."""
     dataset = load_dataset(path)
     dataset, kept = filter_sectors(dataset)
-    print(f"sector filter kept {kept.sum()}/{kept.size} sectors")
+    _info(f"sector filter kept {kept.sum()}/{kept.size} sectors", quiet, file)
     imputer = DAEImputer(DAEImputerConfig(epochs=impute_epochs))
     dataset.kpis = imputer.fit_transform(dataset.kpis)
     return attach_scores(dataset)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    dataset = _prepare(args.data, args.impute_epochs)
+    dataset = _prepare(args.data, args.impute_epochs, quiet=args.quiet)
     print()
     print(dynamics_report(dataset))
     return 0
 
 
 def _cmd_forecast(args: argparse.Namespace) -> int:
-    dataset = _prepare(args.data, args.impute_epochs)
+    dataset = _prepare(args.data, args.impute_epochs, quiet=args.quiet)
     runner = SweepRunner(
         dataset,
         target=args.target,
@@ -75,7 +97,7 @@ def _cmd_forecast(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    dataset = _prepare(args.data, args.impute_epochs)
+    dataset = _prepare(args.data, args.impute_epochs, quiet=args.quiet)
     runner = SweepRunner(
         dataset,
         target=args.target,
@@ -100,18 +122,116 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         t_min=t_min,
         t_max=t_max,
     )
-    print(f"running {grid.n_combinations} sweep cells ...")
-    results = runner.run(grid, progress=True)
+    _info(f"running {grid.n_combinations} sweep cells ...", args.quiet)
+    results = runner.run(grid, progress=not args.quiet)
     rows = [r.as_row() for r in results]
     path = save_result_table(rows, args.out)
-    print(f"wrote {len(rows)} rows to {path}")
+    _info(f"wrote {len(rows)} rows to {path}", args.quiet)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Progress lines go to stderr: stdout is the JSON event stream.
+    horizons = tuple(args.horizons)
+    if min(horizons) < 1 or args.window < 1 or args.top_k < 1:
+        print(
+            "--horizons, --window, and --top-k must all be >= 1",
+            file=sys.stderr,
+        )
+        return 1
+    dataset = _prepare(args.data, args.impute_epochs, quiet=args.quiet, file=sys.stderr)
+    n_days = dataset.time_axis.n_days
+    if not 0 < args.train_day < n_days:
+        print(
+            f"--train-day {args.train_day} outside dataset range (0, {n_days})",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Train once at --train-day and persist; the engine then serves every
+    # later day from that frozen model, loading it lazily from disk.
+    runner = SweepRunner(
+        dataset,
+        target="hot",
+        n_estimators=args.estimators,
+        n_training_days=args.training_days,
+        seed=args.seed,
+    )
+    registry = ModelRegistry(args.registry)
+    keys = train_and_register(
+        runner,
+        registry,
+        [args.model],
+        args.train_day,
+        horizons,
+        (args.window,),
+        overwrite=True,
+    )
+    _info(
+        f"registered {len(keys)} model(s) under {registry.root}",
+        args.quiet,
+        sys.stderr,
+    )
+
+    ingestor = StreamIngestor.for_dataset(dataset, w_max=max(args.window, 7))
+    engine = PredictionEngine(
+        ingestor, registry, target="hot", model=args.model, window=args.window
+    )
+    service = HotSpotService(
+        engine,
+        ServeConfig(
+            horizons=horizons,
+            start_day=args.train_day,
+            top_k=args.top_k,
+            alert_threshold=args.alert_threshold,
+        ),
+    )
+
+    if args.from_stdin:
+        processed = service.run_jsonl(sys.stdin, sys.stdout)
+        _info(f"processed {processed} operations", args.quiet, sys.stderr)
+        return 0
+
+    # Replay mode: drive the service with the dataset's own hours.
+    kpis = dataset.kpis
+    end_day = n_days if args.max_days is None else min(args.max_days, n_days)
+    alerts = 0
+    for hour in range(end_day * HOURS_PER_DAY):
+        events = service.ingest_hour(
+            kpis.values[:, hour, :],
+            kpis.missing[:, hour, :],
+            dataset.calendar[hour],
+        )
+        for event in events:
+            if event["type"] == "alert":
+                alerts += 1
+            print(json.dumps(event))
+    stats = service.stats()
+    _info(
+        f"replayed {end_day} days: {alerts} alerts, "
+        f"{stats['counters'].get('cache_hits', 0)} cache hits / "
+        f"{stats['counters'].get('cache_misses', 0)} misses",
+        args.quiet,
+        sys.stderr,
+    )
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="hotspot-repro",
         description="Cellular hot spot forecasting (ICDE 2017 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress progress output (results still print)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -148,12 +268,40 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--training-days", type=int, default=6)
     sw.add_argument("--out", required=True)
     sw.set_defaults(func=_cmd_sweep)
+
+    srv = sub.add_parser(
+        "serve", parents=[common], help="run the online forecasting service"
+    )
+    srv.add_argument("--registry", required=True, help="model registry directory")
+    srv.add_argument("--model", choices=ALL_MODEL_NAMES, default="RF-F1")
+    srv.add_argument("--train-day", type=int, default=60,
+                     help="day the served model is trained at")
+    srv.add_argument("--window", type=int, default=7)
+    srv.add_argument("--horizons", type=int, nargs="+", default=[1])
+    srv.add_argument("--estimators", type=int, default=10)
+    srv.add_argument("--training-days", type=int, default=6)
+    srv.add_argument("--top-k", type=int, default=5,
+                     help="sectors alerted per refresh")
+    srv.add_argument("--alert-threshold", type=float, default=None,
+                     help="minimum forecast score to alert (default: top-k only)")
+    srv.add_argument("--max-days", type=int, default=None,
+                     help="replay at most this many days")
+    srv.add_argument("--from-stdin", action="store_true",
+                     help="read JSONL operations from stdin instead of replaying")
+    srv.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream consumer (head, a dead socket) closed our stdout.
+        return 0
 
 
 if __name__ == "__main__":

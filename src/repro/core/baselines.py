@@ -78,6 +78,8 @@ class RandomModel(BaselineModel):
     name = "Random"
 
     def __init__(self, random_state: int | np.random.Generator | None = None) -> None:
+        # Kept so the model registry can persist and recreate the stream.
+        self.random_state = random_state if isinstance(random_state, int) else None
         self._rng = ensure_rng(random_state)
 
     def forecast(self, score_daily, labels_daily, t_day, horizon, window):

@@ -235,21 +235,44 @@ class SweepRunner:
         key = f"{self.seed}|{model_name}|{t_day}|{horizon}|{window}".encode()
         return zlib.crc32(key) % (2**31)
 
-    def _forecast(
+    def train_cell(
+        self, model_name: str, t_day: int, horizon: int, window: int
+    ):
+        """Fit and return the model of one sweep cell, without evaluating.
+
+        The returned model is what :meth:`run_cell` trains internally —
+        same derived per-cell seed, same Eq. 7 training protocol — so its
+        forecasts reproduce the sweep's exactly.  Baselines are stateless
+        and are returned ready to use.  The serving layer uses this to
+        export trained models into a :class:`repro.serve.ModelRegistry`
+        instead of discarding them after evaluation.
+        """
+        cell_seed = self._cell_seed(model_name, t_day, horizon, window)
+        return self._fit_cell_model(model_name, t_day, horizon, window, cell_seed)
+
+    def _fit_cell_model(
         self, model_name: str, t_day: int, horizon: int, window: int, seed: int
-    ) -> np.ndarray:
+    ):
         if model_name in BASELINE_NAMES:
-            baseline = self._make_baseline(model_name, seed)
-            return baseline.forecast(
-                self.score_daily, self.labels_daily, t_day, horizon, window
-            )
+            return self._make_baseline(model_name, seed)
         model = make_model(
             model_name,
             n_estimators=self.n_estimators,
             n_training_days=self.n_training_days,
             random_state=seed,
         )
-        return model.fit_forecast(self.features, self.targets_daily, t_day, horizon, window)
+        model.fit(self.features, self.targets_daily, t_day, horizon, window)
+        return model
+
+    def _forecast(
+        self, model_name: str, t_day: int, horizon: int, window: int, seed: int
+    ) -> np.ndarray:
+        model = self._fit_cell_model(model_name, t_day, horizon, window, seed)
+        if isinstance(model, BaselineModel):
+            return model.forecast(
+                self.score_daily, self.labels_daily, t_day, horizon, window
+            )
+        return model.forecast(self.features, t_day, window)
 
     @staticmethod
     def _make_baseline(name: str, seed: int) -> BaselineModel:

@@ -31,7 +31,12 @@ from repro.core.scoring import ScoreConfig, hourly_score, trailing_mean
 from repro.data.dataset import Dataset
 from repro.data.tensor import HOURS_PER_DAY, HOURS_PER_WEEK
 
-__all__ = ["FEATURE_NAMES", "FeatureTensor", "build_feature_tensor"]
+__all__ = [
+    "FEATURE_NAMES",
+    "FeatureTensor",
+    "assemble_window",
+    "build_feature_tensor",
+]
 
 
 def _feature_names(kpi_names: list[str]) -> list[str]:
@@ -134,6 +139,74 @@ class FeatureTensor:
         return self.values[:, lo:hi, :]
 
 
+def assemble_window(
+    kpi_values: np.ndarray,
+    calendar: np.ndarray,
+    score_hourly: np.ndarray,
+    score_daily_trailing: np.ndarray,
+    score_weekly_trailing: np.ndarray,
+    label_daily_trailing: np.ndarray,
+) -> np.ndarray:
+    """Stack the Eq. 5 channels for an arbitrary hour range.
+
+    This is the single-window counterpart of :func:`build_feature_tensor`
+    used by the online serving layer (:mod:`repro.serve`): the ingestion
+    ring buffers hold the per-hour components, and this function
+    assembles them into the ``(n, hours, channels)`` block a fitted
+    forecaster consumes.  The channel order and the numpy operations are
+    identical to the batch path, so a window assembled here is bitwise
+    equal to ``build_feature_tensor(...).values[:, lo:hi, :]``.
+
+    Parameters
+    ----------
+    kpi_values:
+        Shape ``(n, hours, l)`` complete (imputed) KPI values.
+    calendar:
+        Shape ``(hours, 5)`` calendar rows (broadcast over sectors), or
+        an already-broadcast ``(n, hours, 5)`` block.
+    score_hourly:
+        Shape ``(n, hours)`` hourly scores ``S^h``.
+    score_daily_trailing, score_weekly_trailing:
+        Shape ``(n, hours)`` causal trailing means of the hourly score
+        over 24 h and 168 h (the leak-free ``S^d`` / ``S^w`` channels).
+    label_daily_trailing:
+        Shape ``(n, hours)`` float 0/1 channel thresholding the trailing
+        daily mean (the ``Y^d`` channel).
+    """
+    kpi_values = np.asarray(kpi_values, dtype=np.float64)
+    if kpi_values.ndim != 3:
+        raise ValueError(f"kpi_values must be 3-D, got shape {kpi_values.shape}")
+    n, hours = kpi_values.shape[:2]
+    calendar = np.asarray(calendar, dtype=np.float64)
+    if calendar.ndim == 2:
+        calendar = np.broadcast_to(calendar, (n,) + calendar.shape)
+    if calendar.shape[:2] != (n, hours):
+        raise ValueError(
+            f"calendar block {calendar.shape} does not match ({n}, {hours}) window"
+        )
+    for name, channel in (
+        ("score_hourly", score_hourly),
+        ("score_daily_trailing", score_daily_trailing),
+        ("score_weekly_trailing", score_weekly_trailing),
+        ("label_daily_trailing", label_daily_trailing),
+    ):
+        if np.shape(channel) != (n, hours):
+            raise ValueError(
+                f"{name} must have shape ({n}, {hours}), got {np.shape(channel)}"
+            )
+    return np.concatenate(
+        [
+            kpi_values,
+            calendar,
+            np.asarray(score_hourly, dtype=np.float64)[:, :, None],
+            np.asarray(score_daily_trailing, dtype=np.float64)[:, :, None],
+            np.asarray(score_weekly_trailing, dtype=np.float64)[:, :, None],
+            np.asarray(label_daily_trailing, dtype=np.float64)[:, :, None],
+        ],
+        axis=2,
+    )
+
+
 def build_feature_tensor(
     dataset: Dataset, config: ScoreConfig | None = None
 ) -> FeatureTensor:
@@ -154,17 +227,12 @@ def build_feature_tensor(
     s_weekly_trailing = trailing_mean(s_hourly, HOURS_PER_WEEK)
     y_daily_trailing = (s_daily_trailing > config.hotspot_threshold).astype(np.float64)
 
-    n = kpis.n_sectors
-    calendar = np.broadcast_to(dataset.calendar, (n,) + dataset.calendar.shape)
-    channels = np.concatenate(
-        [
-            kpis.values,
-            calendar,
-            s_hourly[:, :, None],
-            s_daily_trailing[:, :, None],
-            s_weekly_trailing[:, :, None],
-            y_daily_trailing[:, :, None],
-        ],
-        axis=2,
+    channels = assemble_window(
+        kpis.values,
+        dataset.calendar,
+        s_hourly,
+        s_daily_trailing,
+        s_weekly_trailing,
+        y_daily_trailing,
     )
     return FeatureTensor(values=channels, channel_names=_feature_names(kpis.kpi_names))

@@ -194,9 +194,20 @@ class HotSpotForecaster:
         Uses the window ending at day *t_day*; the horizon is baked into
         the fitted model.
         """
+        return self.forecast_window(features.window(t_day, window))
+
+    def forecast_window(self, window_values: np.ndarray) -> np.ndarray:
+        """Hot spot probabilities from a preassembled window block.
+
+        *window_values* is the ``(n, 24 * w, channels)`` Eq. 5 slice a
+        :meth:`repro.core.features.FeatureTensor.window` call would
+        produce.  The online serving layer assembles such blocks
+        directly from ring buffers (:mod:`repro.serve.ingest`) and calls
+        this method, skipping full feature-tensor construction.
+        """
         if self._model is None and getattr(self, "_constant", None) is None:
             raise RuntimeError("forecaster is not fitted; call fit() first")
-        design = self._view(features.window(t_day, window))
+        design = self._view(np.asarray(window_values, dtype=np.float64))
         if self._model is None:
             return np.full(design.shape[0], self._constant)
         proba = self._model.predict_proba(design)

@@ -29,14 +29,24 @@ _OPTIONAL_FIELDS = (
 )
 
 
+def _with_npz_suffix(path: Path) -> Path:
+    """Append ``.npz`` unless the name already ends with it.
+
+    Appending to the *name* (rather than ``Path.with_suffix``) keeps
+    dotted stems predictable: ``out/data`` -> ``out/data.npz`` and
+    ``out/data.v2`` -> ``out/data.v2.npz``.
+    """
+    if path.suffix == ".npz":
+        return path
+    return path.parent / (path.name + ".npz")
+
+
 def save_dataset(dataset: Dataset, path: str | Path) -> Path:
     """Serialise *dataset* to a compressed npz archive at *path*.
 
     Returns the written path (with ``.npz`` suffix appended if absent).
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
+    path = _with_npz_suffix(Path(path))
     meta = {
         "kpi_names": dataset.kpis.kpi_names,
         "start_weekday": dataset.time_axis.start_weekday,
@@ -61,8 +71,25 @@ def save_dataset(dataset: Dataset, path: str | Path) -> Path:
 
 
 def load_dataset(path: str | Path) -> Dataset:
-    """Load a dataset previously written by :func:`save_dataset`."""
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    Accepts the same path forms :func:`save_dataset` does: if *path*
+    itself does not exist, the ``.npz``-suffixed variant is tried, so a
+    ``save_dataset(ds, "out/data")`` / ``load_dataset("out/data")`` pair
+    round-trips.  Raises a plain :class:`FileNotFoundError` (not a numpy
+    traceback) when neither exists.
+    """
     path = Path(path)
+    if not path.exists():
+        candidate = _with_npz_suffix(path)
+        if candidate != path and candidate.exists():
+            path = candidate
+        else:
+            tried = f"'{path}'" if candidate == path else f"'{path}' or '{candidate}'"
+            raise FileNotFoundError(
+                f"no dataset found at {tried}; run 'hotspot-repro generate' "
+                "or save_dataset() first"
+            )
     with np.load(path) as archive:
         meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
         n_hours = archive["kpi_values"].shape[1]

@@ -1,0 +1,35 @@
+"""Online serving layer: incremental ingest, model registry, prediction cache.
+
+This package turns the offline reproduction pipeline into a long-running
+forecasting service:
+
+* :mod:`repro.serve.ingest` — hourly KPI ingestion into fixed-capacity
+  ring buffers with incrementally maintained scores and labels,
+  bitwise-equal to the batch pipeline;
+* :mod:`repro.serve.registry` — on-disk persistence and warm-cache
+  loading of trained forecasting models;
+* :mod:`repro.serve.engine` — batched predictions from ring state with
+  per-day caching;
+* :mod:`repro.serve.service` — the alerting loop and JSONL protocol
+  behind ``hotspot-repro serve``;
+* :mod:`repro.serve.telemetry` — counters and latency histograms.
+"""
+
+from repro.serve.engine import PredictionEngine
+from repro.serve.ingest import IngestTick, StreamIngestor
+from repro.serve.registry import ModelKey, ModelRegistry, train_and_register
+from repro.serve.service import HotSpotService, ServeConfig
+from repro.serve.telemetry import LatencyHistogram, ServeTelemetry
+
+__all__ = [
+    "HotSpotService",
+    "IngestTick",
+    "LatencyHistogram",
+    "ModelKey",
+    "ModelRegistry",
+    "PredictionEngine",
+    "ServeConfig",
+    "ServeTelemetry",
+    "StreamIngestor",
+    "train_and_register",
+]

@@ -1,0 +1,160 @@
+"""Batched online prediction from ring-buffer state.
+
+:class:`PredictionEngine` ties the serving pieces together: it feeds
+hourly ticks into a :class:`~repro.serve.ingest.StreamIngestor`, pulls
+trained models lazily from a :class:`~repro.serve.registry.ModelRegistry`,
+and answers ``predict(horizon)`` by assembling the Eq. 5 feature window
+directly from the ring buffers — no batch feature-tensor construction,
+no re-running of the offline pipeline.
+
+Predictions are cached per ``(t_day, model, horizon, window)``.  Within
+a day the ring state backing a forecast cannot change (forecasts are
+made from *complete* days), so repeated queries are O(1) dictionary
+hits; the whole cache is invalidated when the next day completes.  That
+is the cache-invalidation rule: **day rollover clears everything**,
+nothing else does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import BaselineModel
+from repro.serve.ingest import IngestTick, StreamIngestor
+from repro.serve.registry import ModelKey, ModelRegistry
+from repro.serve.telemetry import ServeTelemetry
+
+__all__ = ["PredictionEngine"]
+
+
+class PredictionEngine:
+    """Serve hot-spot forecasts from incrementally ingested KPI state.
+
+    Parameters
+    ----------
+    ingestor:
+        The hourly ingestion state machine (ring buffers + histories).
+    registry:
+        Trained-model store; models load lazily on first use.
+    target:
+        Forecasting task the served models were trained for.
+    model:
+        Default model name used when ``predict`` gets none.
+    window:
+        Default past window ``w`` (days); must fit the ingestor's ring.
+    telemetry:
+        Shared telemetry sink; a private one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        ingestor: StreamIngestor,
+        registry: ModelRegistry,
+        target: str = "hot",
+        model: str = "RF-F1",
+        window: int = 7,
+        telemetry: ServeTelemetry | None = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if window > ingestor.w_max:
+            raise ValueError(
+                f"default window {window} exceeds the ingestor's w_max {ingestor.w_max}"
+            )
+        self.ingestor = ingestor
+        self.registry = registry
+        self.target = target
+        self.default_model = model
+        self.default_window = window
+        self.telemetry = telemetry or ServeTelemetry()
+        self._cache: dict[tuple[int, str, int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------- ingest
+    def ingest_hour(
+        self,
+        values: np.ndarray,
+        missing: np.ndarray | None = None,
+        calendar_row: np.ndarray | None = None,
+    ) -> IngestTick:
+        """Ingest one hourly sample; clears the cache on day rollover."""
+        with self.telemetry.timer("ingest_seconds"):
+            tick = self.ingestor.ingest_hour(values, missing, calendar_row)
+        self.telemetry.inc("ingest_ticks")
+        if tick.day_completed:
+            self._cache.clear()
+            self.telemetry.inc("days_completed")
+        if tick.week_completed:
+            self.telemetry.inc("weeks_completed")
+        return tick
+
+    # ------------------------------------------------------------ predict
+    @property
+    def t_day(self) -> int:
+        """The day forecasts are currently made at (last complete day)."""
+        return self.ingestor.last_complete_day
+
+    def predict(
+        self,
+        horizon: int,
+        model: str | None = None,
+        window: int | None = None,
+        sector_ids: np.ndarray | list[int] | None = None,
+    ) -> np.ndarray:
+        """Hot-spot scores for day ``t_day + horizon``.
+
+        Returns one ranking score per requested sector (all sectors when
+        *sector_ids* is omitted), computed by the registered model for
+        ``(target, model, horizon, window)`` from the current ring
+        state.  Scores for the full network are cached per
+        ``(t_day, model, horizon, window)``, so slicing different
+        *sector_ids* out of the same forecast costs O(len(ids)).
+        """
+        model_name = model or self.default_model
+        window = self.default_window if window is None else window
+        t_day = self.t_day
+        if t_day < 0:
+            raise RuntimeError("no complete day ingested yet; cannot forecast")
+        cache_key = (t_day, model_name, horizon, window)
+        scores = self._cache.get(cache_key)
+        if scores is None:
+            self.telemetry.inc("cache_misses")
+            with self.telemetry.timer("predict_seconds"):
+                scores = self._compute(model_name, t_day, horizon, window)
+            self._cache[cache_key] = scores
+        else:
+            self.telemetry.inc("cache_hits")
+        self.telemetry.inc("predictions_served")
+        if sector_ids is not None:
+            return scores[np.asarray(sector_ids)].copy()
+        return scores.copy()
+
+    def _compute(
+        self, model_name: str, t_day: int, horizon: int, window: int
+    ) -> np.ndarray:
+        key = ModelKey(self.target, model_name, horizon, window)
+        model = self.registry.get(key)
+        if isinstance(model, BaselineModel):
+            return np.asarray(
+                model.forecast(
+                    self.ingestor.score_daily,
+                    self.ingestor.labels_daily,
+                    t_day,
+                    horizon,
+                    window,
+                ),
+                dtype=np.float64,
+            )
+        window_block = self.ingestor.feature_window(t_day, window)
+        return np.asarray(model.forecast_window(window_block), dtype=np.float64)
+
+    # -------------------------------------------------------------- stats
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def stats(self) -> dict:
+        """Telemetry + cache + registry snapshot."""
+        snapshot = self.telemetry.stats()
+        snapshot["cache"] = {"entries": len(self._cache), "t_day": self.t_day}
+        snapshot["registry"] = self.registry.stats()
+        return snapshot

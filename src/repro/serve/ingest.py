@@ -1,0 +1,424 @@
+"""Incremental hourly KPI ingestion over fixed-capacity ring buffers.
+
+:class:`StreamIngestor` is the online counterpart of the batch scoring
+pipeline: KPIs arrive one hour at a time, per-sector rolling state lives
+in ring buffers bounded by ``w_max`` days, and every score and label the
+batch pipeline computes is maintained incrementally.
+
+**Parity contract.**  Replaying a dataset hour-by-hour reproduces the
+batch pipeline *bitwise*:
+
+* hourly scores equal :func:`repro.core.scoring.hourly_score` because
+  the per-tick computation applies the identical thresholding/weighted
+  sum over the same contiguous KPI axis;
+* daily/weekly scores equal :func:`repro.core.scoring.integrate_score`
+  because each completed period is averaged from a contiguous 24- or
+  168-element accumulator — the same reduction the batch reshape-mean
+  performs;
+* the trailing daily/weekly feature channels equal
+  :func:`repro.core.scoring.trailing_mean` because the ingestor keeps a
+  running cumulative sum (floating-point accumulation order identical to
+  ``np.cumsum``) and forms the same ``(cs[j] - cs[j - w]) / w``
+  differences;
+* consequently :meth:`StreamIngestor.feature_window` is bitwise equal to
+  ``build_feature_tensor(...).window(t_day, w)`` on the same data.
+
+The ring holds raw KPI values, missing masks, calendar rows, hourly
+scores/labels, and the precomputed trailing channels for the last
+``capacity_hours`` hours.  Daily and weekly score/label *histories* are
+kept in full (they grow by one ``(n,)`` column per day/week — a few KB
+per day even at production sector counts) because the baseline models
+and the alerting layer address arbitrary past days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.features import assemble_window
+from repro.core.scoring import ScoreConfig
+from repro.data.dataset import Dataset
+from repro.data.tensor import HOURS_PER_DAY, HOURS_PER_WEEK
+
+__all__ = ["IngestTick", "StreamIngestor"]
+
+
+@dataclass(frozen=True)
+class IngestTick:
+    """Outcome of one hourly ingest step.
+
+    Attributes
+    ----------
+    hour:
+        Global zero-based hour index of the ingested sample.
+    day:
+        Day index this hour belongs to.
+    day_completed, week_completed:
+        True when this hour closed a 24 h / 168 h period (daily/weekly
+        scores and labels were appended to the histories).
+    t_day:
+        Index of the last *complete* day after this tick (-1 before the
+        first full day) — the day forecasts can be made "at".
+    """
+
+    hour: int
+    day: int
+    day_completed: bool
+    week_completed: bool
+    t_day: int
+
+
+class _History:
+    """Column-appendable ``(n, m)`` matrix with amortised doubling."""
+
+    def __init__(self, n_rows: int, dtype=np.float64, capacity: int = 64) -> None:
+        self._data = np.zeros((n_rows, capacity), dtype=dtype)
+        self.n_cols = 0
+
+    def append(self, column: np.ndarray) -> None:
+        if self.n_cols == self._data.shape[1]:
+            grown = np.zeros(
+                (self._data.shape[0], 2 * self._data.shape[1]), dtype=self._data.dtype
+            )
+            grown[:, : self.n_cols] = self._data[:, : self.n_cols]
+            self._data = grown
+        self._data[:, self.n_cols] = column
+        self.n_cols += 1
+
+    @property
+    def view(self) -> np.ndarray:
+        """Read-only-by-convention view of the appended columns."""
+        return self._data[:, : self.n_cols]
+
+
+class StreamIngestor:
+    """Hourly ingestion with per-sector rolling KPI state.
+
+    Parameters
+    ----------
+    n_sectors:
+        Number of sectors in the network.
+    n_kpis:
+        KPI channels per sector; defaults to (and must match) the score
+        configuration's channel count.
+    score_config:
+        Weights/thresholds used for incremental scoring; defaults match
+        :func:`repro.core.scoring.attach_scores`.
+    w_max:
+        Largest forecast window (days) the ring must be able to serve.
+    capacity_hours:
+        Ring capacity override; defaults to ``w_max`` days, raised to at
+        least ``168 + 24`` hours so the weekly trailing mean always finds
+        its lookback sample before the ring wraps.
+    start_weekday, start_hour, start_day_of_month:
+        Time-axis anchors used only to derive default calendar rows when
+        :meth:`ingest_hour` is called without one.
+    """
+
+    def __init__(
+        self,
+        n_sectors: int,
+        n_kpis: int | None = None,
+        score_config: ScoreConfig | None = None,
+        w_max: int = 21,
+        capacity_hours: int | None = None,
+        start_weekday: int = 0,
+        start_hour: int = 0,
+        start_day_of_month: int = 1,
+    ) -> None:
+        if n_sectors < 1:
+            raise ValueError(f"n_sectors must be >= 1, got {n_sectors}")
+        if w_max < 1:
+            raise ValueError(f"w_max must be >= 1, got {w_max}")
+        config = score_config or ScoreConfig()
+        if n_kpis is None:
+            n_kpis = config.n_kpis
+        if n_kpis != config.n_kpis:
+            raise ValueError(
+                f"score config covers {config.n_kpis} KPIs, ingestor asked for {n_kpis}"
+            )
+        minimum = HOURS_PER_WEEK + HOURS_PER_DAY
+        capacity = capacity_hours or max(w_max * HOURS_PER_DAY, minimum)
+        if capacity < minimum:
+            raise ValueError(
+                f"capacity_hours must be >= {minimum} (one week of trailing-mean "
+                f"lookback plus one day), got {capacity}"
+            )
+        self.config = config
+        self.w_max = w_max
+        self.capacity = int(capacity)
+        self.start_weekday = start_weekday
+        self.start_hour = start_hour
+        self.start_day_of_month = start_day_of_month
+        self._weights = np.asarray(config.weights, dtype=np.float64)
+        self._thresholds = np.asarray(config.thresholds, dtype=np.float64)
+        self._weight_sum = config.weight_sum
+        self._threshold = config.hotspot_threshold
+
+        n, cap, l = n_sectors, self.capacity, n_kpis
+        # Ring-buffered hourly state (slot = hour % capacity).
+        self.values = np.full((n, cap, l), np.nan)
+        self.missing = np.ones((n, cap, l), dtype=bool)
+        self.calendar = np.zeros((cap, 5))
+        self.score_hourly = np.zeros((n, cap))
+        self.labels_hourly = np.zeros((n, cap), dtype=np.int8)
+        self.trail_daily = np.zeros((n, cap))
+        self.trail_weekly = np.zeros((n, cap))
+        self.trail_label = np.zeros((n, cap))
+        self._cumsum = np.zeros((n, cap))
+        self._running_total = np.zeros(n)
+        # Contiguous per-period accumulators (see parity contract).
+        self._day_scores = np.zeros((n, HOURS_PER_DAY))
+        self._week_scores = np.zeros((n, HOURS_PER_WEEK))
+        # Full daily/weekly histories.
+        self._score_daily = _History(n)
+        self._labels_daily = _History(n, dtype=np.int8)
+        self._score_weekly = _History(n)
+        self._labels_weekly = _History(n, dtype=np.int8)
+        self.hours_seen = 0
+
+    # ------------------------------------------------------------- shape
+    @property
+    def n_sectors(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_kpis(self) -> int:
+        return self.values.shape[2]
+
+    @property
+    def last_complete_day(self) -> int:
+        """Index of the last fully ingested day (-1 before the first)."""
+        return self.hours_seen // HOURS_PER_DAY - 1
+
+    @property
+    def score_daily(self) -> np.ndarray:
+        """Daily scores ``S^d`` so far, shape ``(n, days_completed)``."""
+        return self._score_daily.view
+
+    @property
+    def labels_daily(self) -> np.ndarray:
+        """Daily labels ``Y^d`` so far, shape ``(n, days_completed)``."""
+        return self._labels_daily.view
+
+    @property
+    def score_weekly(self) -> np.ndarray:
+        """Weekly scores ``S^w`` so far, shape ``(n, weeks_completed)``."""
+        return self._score_weekly.view
+
+    @property
+    def labels_weekly(self) -> np.ndarray:
+        """Weekly labels ``Y^w`` so far, shape ``(n, weeks_completed)``."""
+        return self._labels_weekly.view
+
+    # ------------------------------------------------------------- ingest
+    def ingest_hour(
+        self,
+        values: np.ndarray,
+        missing: np.ndarray | None = None,
+        calendar_row: np.ndarray | None = None,
+    ) -> IngestTick:
+        """Ingest one hour of KPIs for every sector.
+
+        Parameters
+        ----------
+        values:
+            Shape ``(n_sectors, n_kpis)`` hourly measurements.
+        missing:
+            Boolean mask, same shape; defaults to the NaN positions of
+            *values*.  Missing entries cannot trip score thresholds
+            (matching :func:`repro.core.scoring.hourly_score`), but a
+            forecaster window containing them is rejected — impute
+            upstream, as in the batch pipeline.
+        calendar_row:
+            The 5-element enriched calendar row for this hour.  When
+            omitted, a default row is derived from the configured time
+            axis (hour-of-day, day-of-week, a 31-day day-of-month cycle,
+            weekend flag, holiday = 0); for bitwise feature parity with
+            a specific dataset, pass its calendar rows.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n_sectors, self.n_kpis):
+            raise ValueError(
+                f"values must be ({self.n_sectors}, {self.n_kpis}), got {values.shape}"
+            )
+        if missing is None:
+            missing = np.isnan(values)
+        missing = np.asarray(missing, dtype=bool)
+        if missing.shape != values.shape:
+            raise ValueError(
+                f"missing mask shape {missing.shape} != values shape {values.shape}"
+            )
+        hour = self.hours_seen
+        slot = hour % self.capacity
+
+        # Eq. 1, identical operations to the batch hourly_score.
+        tripped = values > self._thresholds[None, :]
+        tripped &= ~missing
+        score = (tripped * self._weights[None, :]).sum(axis=1) / self._weight_sum
+
+        self.values[:, slot, :] = values
+        self.missing[:, slot, :] = missing
+        self.calendar[slot] = (
+            self._default_calendar_row(hour) if calendar_row is None else calendar_row
+        )
+        self.score_hourly[:, slot] = score
+        self.labels_hourly[:, slot] = (score > self._threshold).astype(np.int8)
+
+        # Running cumulative sum: same sequential accumulation order as
+        # np.cumsum over the full history, so the Eq. 3 trailing means
+        # below match trailing_mean() bitwise.
+        self._running_total += score
+        self._cumsum[:, slot] = self._running_total
+        self.trail_daily[:, slot] = self._trailing(hour, HOURS_PER_DAY)
+        self.trail_weekly[:, slot] = self._trailing(hour, HOURS_PER_WEEK)
+        self.trail_label[:, slot] = (
+            self.trail_daily[:, slot] > self._threshold
+        ).astype(np.float64)
+
+        self._day_scores[:, hour % HOURS_PER_DAY] = score
+        self._week_scores[:, hour % HOURS_PER_WEEK] = score
+        self.hours_seen += 1
+
+        day_completed = self.hours_seen % HOURS_PER_DAY == 0
+        week_completed = self.hours_seen % HOURS_PER_WEEK == 0
+        if day_completed:
+            s_day = self._day_scores.mean(axis=1)
+            self._score_daily.append(s_day)
+            self._labels_daily.append((s_day > self._threshold).astype(np.int8))
+        if week_completed:
+            s_week = self._week_scores.mean(axis=1)
+            self._score_weekly.append(s_week)
+            self._labels_weekly.append((s_week > self._threshold).astype(np.int8))
+        return IngestTick(
+            hour=hour,
+            day=hour // HOURS_PER_DAY,
+            day_completed=day_completed,
+            week_completed=week_completed,
+            t_day=self.last_complete_day,
+        )
+
+    def _trailing(self, hour: int, window: int) -> np.ndarray:
+        """Trailing mean of the hourly score ending at *hour* (Eq. 3)."""
+        if hour >= window:
+            lookback = self._cumsum[:, (hour - window) % self.capacity]
+            return (self._running_total - lookback) / window
+        return self._running_total / (hour + 1)
+
+    def _default_calendar_row(self, hour: int) -> np.ndarray:
+        """Best-effort calendar row when the caller supplies none."""
+        hour_of_day = (hour + self.start_hour) % HOURS_PER_DAY
+        day = (hour + self.start_hour) // HOURS_PER_DAY
+        day_of_week = (day + self.start_weekday) % 7
+        day_of_month = (day + self.start_day_of_month - 1) % 31 + 1
+        return np.array(
+            [
+                float(hour_of_day),
+                float(day_of_week),
+                float(day_of_month),
+                1.0 if day_of_week >= 5 else 0.0,
+                0.0,
+            ]
+        )
+
+    def replay(
+        self,
+        dataset: Dataset,
+        start_hour: int = 0,
+        end_hour: int | None = None,
+    ) -> Iterator[IngestTick]:
+        """Feed a dataset's hours through :meth:`ingest_hour`, yielding ticks."""
+        kpis = dataset.kpis
+        if kpis.n_sectors != self.n_sectors or kpis.n_kpis != self.n_kpis:
+            raise ValueError(
+                f"dataset shape ({kpis.n_sectors} sectors, {kpis.n_kpis} KPIs) does "
+                f"not match ingestor ({self.n_sectors}, {self.n_kpis})"
+            )
+        end = kpis.n_hours if end_hour is None else min(end_hour, kpis.n_hours)
+        for hour in range(start_hour, end):
+            yield self.ingest_hour(
+                kpis.values[:, hour, :],
+                kpis.missing[:, hour, :],
+                dataset.calendar[hour],
+            )
+
+    @classmethod
+    def for_dataset(
+        cls,
+        dataset: Dataset,
+        score_config: ScoreConfig | None = None,
+        w_max: int = 21,
+    ) -> "StreamIngestor":
+        """An ingestor shaped and time-anchored for *dataset*."""
+        axis = dataset.time_axis
+        return cls(
+            n_sectors=dataset.n_sectors,
+            n_kpis=dataset.kpis.n_kpis,
+            score_config=score_config,
+            w_max=w_max,
+            start_weekday=axis.start_weekday,
+            start_hour=axis.start_hour,
+        )
+
+    # ------------------------------------------------------------- windows
+    def _ring_slots(self, lo_hour: int, hi_hour: int) -> np.ndarray:
+        """Ring slots for global hours ``[lo_hour, hi_hour)``, validated."""
+        if not 0 <= lo_hour < hi_hour:
+            raise ValueError(f"invalid hour range [{lo_hour}, {hi_hour})")
+        if hi_hour > self.hours_seen:
+            raise ValueError(
+                f"hour range [{lo_hour}, {hi_hour}) not fully ingested yet "
+                f"({self.hours_seen} hours seen)"
+            )
+        if lo_hour < self.hours_seen - self.capacity:
+            raise ValueError(
+                f"hour {lo_hour} already evicted from the {self.capacity}-hour ring; "
+                "increase w_max/capacity_hours"
+            )
+        return np.arange(lo_hour, hi_hour) % self.capacity
+
+    def hourly_window(self, lo_hour: int, hi_hour: int) -> dict[str, np.ndarray]:
+        """Raw ring contents for hours ``[lo_hour, hi_hour)`` (testing/debug)."""
+        slots = self._ring_slots(lo_hour, hi_hour)
+        return {
+            "values": self.values[:, slots, :],
+            "missing": self.missing[:, slots, :],
+            "calendar": self.calendar[slots],
+            "score_hourly": self.score_hourly[:, slots],
+            "labels_hourly": self.labels_hourly[:, slots],
+            "trail_daily": self.trail_daily[:, slots],
+            "trail_weekly": self.trail_weekly[:, slots],
+        }
+
+    def feature_window(self, t_day: int, window: int) -> np.ndarray:
+        """The Eq. 5 input block for a forecast made at day *t_day*.
+
+        Bitwise equal to ``build_feature_tensor(dataset).window(t_day,
+        window)`` when the same hours were replayed with the dataset's
+        calendar rows.  Shape ``(n, 24 * window, n_kpis + 9)``.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        lo = HOURS_PER_DAY * (t_day - window + 1)
+        hi = HOURS_PER_DAY * (t_day + 1)
+        if lo < 0:
+            raise ValueError(
+                f"window of {window} days does not fit before day {t_day}"
+            )
+        slots = self._ring_slots(lo, hi)
+        if self.missing[:, slots, :].any():
+            raise ValueError(
+                "forecast window contains missing KPI values; impute upstream "
+                "(the batch pipeline rejects incomplete tensors the same way)"
+            )
+        return assemble_window(
+            self.values[:, slots, :],
+            self.calendar[slots],
+            self.score_hourly[:, slots],
+            self.trail_daily[:, slots],
+            self.trail_weekly[:, slots],
+            self.trail_label[:, slots],
+        )

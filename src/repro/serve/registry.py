@@ -1,0 +1,380 @@
+"""Model persistence keyed by (target, model, horizon, window).
+
+Trained forecasters are flat-array machines (the CART trees store their
+nodes in numpy arrays), so persistence follows the same conventions as
+:mod:`repro.data.store`: one compressed ``.npz`` archive per model, with
+array entries for every tree plus a small ``meta_json`` payload.  A
+reloaded model reproduces the in-memory model's predictions *exactly* —
+prediction only touches the flattened node arrays, and float64/int64
+round-trip bitwise through npz.
+
+:class:`ModelRegistry` adds the serving niceties on top: lazy loading on
+first use, a warm-model LRU so a long-running service keeps only the
+hot ``(horizon, window)`` combinations in memory, and hit/load/eviction
+statistics for the telemetry layer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.baselines import (
+    AverageModel,
+    BaselineModel,
+    PersistModel,
+    RandomModel,
+    TrendModel,
+)
+from repro.core.forecaster import HotSpotForecaster
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.regression_tree import RegressionTree
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["ModelKey", "ModelRegistry", "train_and_register"]
+
+_BASELINE_FACTORIES = {
+    "Random": lambda seed: RandomModel(random_state=seed),
+    "Persist": lambda seed: PersistModel(),
+    "Average": lambda seed: AverageModel(),
+    "Trend": lambda seed: TrendModel(),
+}
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Identity of a registered model.
+
+    Attributes
+    ----------
+    target:
+        ``"hot"`` or ``"become"`` — the forecasting task.
+    model:
+        Registry model name (``RF-F1``, ``Average``, ...).
+    horizon:
+        Prediction horizon ``h`` (days) baked into the trained model.
+    window:
+        Past window ``w`` (days) the model consumes.
+    """
+
+    target: str
+    model: str
+    horizon: int
+    window: int
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1 or self.window < 1:
+            raise ValueError(
+                f"horizon and window must be >= 1, got h={self.horizon}, w={self.window}"
+            )
+        for field_name in ("target", "model"):
+            value = getattr(self, field_name)
+            if "__" in value or "/" in value:
+                raise ValueError(f"{field_name} must not contain '__' or '/': {value!r}")
+
+    @property
+    def filename(self) -> str:
+        return (
+            f"{self.target}__{self.model}__h{self.horizon:03d}__w{self.window:03d}.npz"
+        )
+
+    @classmethod
+    def from_filename(cls, name: str) -> "ModelKey":
+        stem = name.removesuffix(".npz")
+        target, model, h_part, w_part = stem.split("__")
+        return cls(
+            target=target,
+            model=model,
+            horizon=int(h_part.removeprefix("h")),
+            window=int(w_part.removeprefix("w")),
+        )
+
+
+# --------------------------------------------------------------- tree (de)ser
+def _pack_classifier_tree(tree: DecisionTreeClassifier, prefix: str, arrays: dict) -> None:
+    arrays[f"{prefix}feature"] = tree._feature
+    arrays[f"{prefix}threshold"] = tree._threshold
+    arrays[f"{prefix}left"] = tree._left
+    arrays[f"{prefix}right"] = tree._right
+    arrays[f"{prefix}proba"] = tree._proba
+    arrays[f"{prefix}classes"] = tree.classes_
+    arrays[f"{prefix}importances"] = tree.feature_importances_
+
+
+def _unpack_classifier_tree(archive, prefix: str, n_features: int) -> DecisionTreeClassifier:
+    tree = DecisionTreeClassifier()
+    tree.classes_ = archive[f"{prefix}classes"]
+    tree._n_features = n_features
+    tree._n_classes = tree.classes_.size
+    tree._feature = archive[f"{prefix}feature"]
+    tree._threshold = archive[f"{prefix}threshold"]
+    tree._left = archive[f"{prefix}left"]
+    tree._right = archive[f"{prefix}right"]
+    tree._proba = archive[f"{prefix}proba"]
+    tree.feature_importances_ = archive[f"{prefix}importances"]
+    tree.n_nodes_ = int(tree._feature.size)
+    return tree
+
+
+def _pack_regression_tree(tree: RegressionTree, prefix: str, arrays: dict) -> None:
+    arrays[f"{prefix}feature"] = tree._feature
+    arrays[f"{prefix}threshold"] = tree._threshold
+    arrays[f"{prefix}left"] = tree._left
+    arrays[f"{prefix}right"] = tree._right
+    arrays[f"{prefix}value"] = tree._value
+    arrays[f"{prefix}importances"] = tree.feature_importances_
+
+
+def _unpack_regression_tree(archive, prefix: str, n_features: int) -> RegressionTree:
+    tree = RegressionTree()
+    tree._n_features = n_features
+    tree._feature = archive[f"{prefix}feature"]
+    tree._threshold = archive[f"{prefix}threshold"]
+    tree._left = archive[f"{prefix}left"]
+    tree._right = archive[f"{prefix}right"]
+    tree._value = archive[f"{prefix}value"]
+    tree.feature_importances_ = archive[f"{prefix}importances"]
+    tree.n_nodes_ = int(tree._feature.size)
+    return tree
+
+
+# ---------------------------------------------------------- model (de)ser
+def _dump_model(model) -> tuple[dict, dict]:
+    """Split a trained model into (json-able meta, numpy arrays)."""
+    arrays: dict[str, np.ndarray] = {}
+    if isinstance(model, BaselineModel):
+        meta = {
+            "family": "baseline",
+            "name": model.name,
+            "random_state": getattr(model, "random_state", None),
+        }
+        return meta, arrays
+    if not isinstance(model, HotSpotForecaster):
+        raise TypeError(f"cannot persist model of type {type(model).__name__}")
+
+    constant = getattr(model, "_constant", None)
+    meta = {
+        "family": "forecaster",
+        "kind": model.kind,
+        "feature_view": model.feature_view,
+        "n_estimators": model.n_estimators,
+        "n_training_days": model.n_training_days,
+        "max_depth": model.max_depth,
+        "constant": constant,
+    }
+    arrays["feature_importances"] = np.asarray(model.feature_importances_)
+    fitted = model._model
+    if fitted is None:
+        if constant is None:
+            raise RuntimeError("forecaster is not fitted; nothing to persist")
+        return meta, arrays
+
+    if isinstance(fitted, DecisionTreeClassifier):
+        meta["inner"] = "tree"
+        meta["n_features"] = int(fitted._n_features)
+        _pack_classifier_tree(fitted, "tree__", arrays)
+    elif isinstance(fitted, RandomForestClassifier):
+        meta["inner"] = "forest"
+        meta["n_members"] = len(fitted.estimators_)
+        meta["n_features"] = int(fitted.estimators_[0]._n_features)
+        arrays["forest__classes"] = fitted.classes_
+        arrays["forest__importances"] = np.asarray(fitted.feature_importances_)
+        for i, member in enumerate(fitted.estimators_):
+            _pack_classifier_tree(member, f"est{i:03d}__", arrays)
+    elif isinstance(fitted, GradientBoostingClassifier):
+        meta["inner"] = "boosting"
+        meta["n_members"] = len(fitted.estimators_)
+        meta["n_features"] = int(fitted.estimators_[0]._n_features)
+        meta["initial"] = float(fitted._initial)
+        meta["learning_rate"] = float(fitted.learning_rate)
+        arrays["boost__classes"] = fitted.classes_
+        arrays["boost__importances"] = np.asarray(fitted.feature_importances_)
+        for i, stage in enumerate(fitted.estimators_):
+            _pack_regression_tree(stage, f"est{i:03d}__", arrays)
+    else:
+        raise TypeError(f"cannot persist inner model {type(fitted).__name__}")
+    return meta, arrays
+
+
+def _load_model(meta: dict, archive):
+    if meta["family"] == "baseline":
+        factory = _BASELINE_FACTORIES.get(meta["name"])
+        if factory is None:
+            raise ValueError(f"unknown baseline {meta['name']!r} in registry entry")
+        return factory(meta.get("random_state"))
+
+    forecaster = HotSpotForecaster(
+        kind=meta["kind"],
+        feature_view=meta["feature_view"],
+        n_estimators=meta["n_estimators"],
+        n_training_days=meta["n_training_days"],
+        max_depth=meta["max_depth"],
+    )
+    forecaster._constant = meta["constant"]
+    forecaster.feature_importances_ = archive["feature_importances"]
+    inner = meta.get("inner")
+    if inner is None:
+        forecaster._model = None
+        return forecaster
+    n_features = int(meta["n_features"])
+    if inner == "tree":
+        forecaster._model = _unpack_classifier_tree(archive, "tree__", n_features)
+    elif inner == "forest":
+        forest = RandomForestClassifier(n_estimators=int(meta["n_members"]))
+        forest.classes_ = archive["forest__classes"]
+        forest.feature_importances_ = archive["forest__importances"]
+        forest.estimators_ = [
+            _unpack_classifier_tree(archive, f"est{i:03d}__", n_features)
+            for i in range(int(meta["n_members"]))
+        ]
+        forecaster._model = forest
+    elif inner == "boosting":
+        boosting = GradientBoostingClassifier(
+            n_estimators=int(meta["n_members"]),
+            learning_rate=float(meta["learning_rate"]),
+        )
+        boosting.classes_ = archive["boost__classes"]
+        boosting._initial = float(meta["initial"])
+        boosting.feature_importances_ = archive["boost__importances"]
+        boosting.estimators_ = [
+            _unpack_regression_tree(archive, f"est{i:03d}__", n_features)
+            for i in range(int(meta["n_members"]))
+        ]
+        forecaster._model = boosting
+    else:
+        raise ValueError(f"unknown inner model kind {inner!r} in registry entry")
+    return forecaster
+
+
+class ModelRegistry:
+    """On-disk model store with a warm-model LRU cache.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one ``.npz`` archive per registered model.
+    max_warm:
+        Maximum number of deserialised models kept in memory; the least
+        recently used model is evicted when the budget is exceeded.
+        Evicted models reload transparently from disk on next use.
+    """
+
+    def __init__(self, root: str | Path, max_warm: int = 8) -> None:
+        if max_warm < 1:
+            raise ValueError(f"max_warm must be >= 1, got {max_warm}")
+        self.root = Path(root)
+        self.max_warm = max_warm
+        self._warm: OrderedDict[ModelKey, object] = OrderedDict()
+        self.warm_hits = 0
+        self.disk_loads = 0
+        self.evictions = 0
+        self.saves = 0
+
+    def path_for(self, key: ModelKey) -> Path:
+        return self.root / key.filename
+
+    def __contains__(self, key: ModelKey) -> bool:
+        return key in self._warm or self.path_for(key).exists()
+
+    def keys(self) -> list[ModelKey]:
+        """Every key with an archive on disk, sorted by filename."""
+        if not self.root.is_dir():
+            return []
+        out = []
+        for path in sorted(self.root.glob("*.npz")):
+            try:
+                out.append(ModelKey.from_filename(path.name))
+            except (ValueError, TypeError):
+                continue  # foreign npz file in the registry directory
+        return out
+
+    # ----------------------------------------------------------------- io
+    def save(self, key: ModelKey, model) -> Path:
+        """Persist *model* under *key* and warm the cache with it."""
+        meta, arrays = _dump_model(model)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta_blob = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        np.savez_compressed(path, meta_json=meta_blob, **arrays)
+        self.saves += 1
+        self._remember(key, model)
+        return path
+
+    def load(self, key: ModelKey):
+        """Deserialise *key* straight from disk (no cache interaction)."""
+        path = self.path_for(key)
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no registered model for {key} at '{path}'; train and save it first"
+            )
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+            return _load_model(meta, archive)
+
+    def get(self, key: ModelKey):
+        """The model for *key*: warm if cached, lazily loaded otherwise."""
+        if key in self._warm:
+            self._warm.move_to_end(key)
+            self.warm_hits += 1
+            return self._warm[key]
+        model = self.load(key)
+        self.disk_loads += 1
+        self._remember(key, model)
+        return model
+
+    def _remember(self, key: ModelKey, model) -> None:
+        self._warm[key] = model
+        self._warm.move_to_end(key)
+        while len(self._warm) > self.max_warm:
+            self._warm.popitem(last=False)
+            self.evictions += 1
+
+    def evict_all(self) -> None:
+        """Drop every warm model (they reload from disk on demand)."""
+        self._warm.clear()
+
+    def stats(self) -> dict:
+        """Cache statistics snapshot for the telemetry layer."""
+        return {
+            "warm_models": len(self._warm),
+            "max_warm": self.max_warm,
+            "warm_hits": self.warm_hits,
+            "disk_loads": self.disk_loads,
+            "evictions": self.evictions,
+            "saves": self.saves,
+        }
+
+
+def train_and_register(
+    runner,
+    registry: ModelRegistry,
+    model_names: tuple[str, ...],
+    t_day: int,
+    horizons: tuple[int, ...],
+    windows: tuple[int, ...],
+    overwrite: bool = False,
+) -> list[ModelKey]:
+    """Train sweep-cell models and persist them into *registry*.
+
+    *runner* is a :class:`repro.core.experiment.SweepRunner`; each
+    ``(model, horizon, window)`` combination is trained at day *t_day*
+    via :meth:`~repro.core.experiment.SweepRunner.train_cell` and saved
+    under ``ModelKey(runner.target, model, horizon, window)``.  Existing
+    entries are kept unless *overwrite* is set.  Returns the keys now
+    present for the requested grid.
+    """
+    keys: list[ModelKey] = []
+    for model_name in model_names:
+        for window in windows:
+            for horizon in horizons:
+                key = ModelKey(runner.target, model_name, horizon, window)
+                if overwrite or key not in registry:
+                    model = runner.train_cell(model_name, t_day, horizon, window)
+                    registry.save(key, model)
+                keys.append(key)
+    return keys

@@ -1,0 +1,204 @@
+"""The online hot-spot forecasting service loop.
+
+:class:`HotSpotService` wraps a :class:`~repro.serve.engine.PredictionEngine`
+with operator-facing behaviour: every time a day of KPIs completes, it
+refreshes the configured ``(model, horizon)`` forecasts and emits alert
+events for the sectors most likely to run hot.  Two drivers are
+provided:
+
+* the *programmatic* driver — call :meth:`ingest_hour` from your own
+  loop and collect the returned events (this is what the CLI's replay
+  mode does);
+* the *JSONL* driver — :meth:`run_jsonl` reads one JSON object per line
+  from an input stream (``{"op": "tick", ...}``, ``{"op": "predict"}``,
+  ``{"op": "stats"}``, ``{"op": "stop"}``) and writes event objects to
+  an output stream, so the service can sit behind a pipe or socket.
+
+Alert policy: per refresh, sectors are ranked by forecast score; the
+top ``top_k`` are alerted, optionally restricted to scores at or above
+``alert_threshold``.  Every event is a plain JSON-serialisable dict.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Iterable
+
+import numpy as np
+
+from repro.serve.engine import PredictionEngine
+from repro.serve.ingest import IngestTick
+from repro.serve.telemetry import ServeTelemetry
+
+__all__ = ["ServeConfig", "HotSpotService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service behaviour knobs.
+
+    Attributes
+    ----------
+    horizons:
+        Horizons (days ahead) refreshed after every completed day.
+    start_day:
+        First ``t_day`` the service makes forecasts for; earlier days
+        only warm the ring buffers (and, in replay bootstraps, overlap
+        the training period).
+    top_k:
+        Number of top-ranked sectors eligible for an alert per refresh.
+    alert_threshold:
+        Optional minimum forecast score; ``None`` alerts the top-k
+        unconditionally (classifier scores are probabilities, baseline
+        scores are unbounded rankings — pick a threshold per model).
+    """
+
+    horizons: tuple[int, ...] = (1,)
+    start_day: int = 0
+    top_k: int = 5
+    alert_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.horizons or min(self.horizons) < 1:
+            raise ValueError(f"horizons must be non-empty and >= 1: {self.horizons}")
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+
+
+@dataclass
+class HotSpotService:
+    """Ingest ticks, refresh forecasts, emit hot-spot alerts."""
+
+    engine: PredictionEngine
+    config: ServeConfig = field(default_factory=ServeConfig)
+
+    @property
+    def telemetry(self) -> ServeTelemetry:
+        return self.engine.telemetry
+
+    # ----------------------------------------------------------- programmatic
+    def ingest_hour(
+        self,
+        values: np.ndarray,
+        missing: np.ndarray | None = None,
+        calendar_row: np.ndarray | None = None,
+    ) -> list[dict]:
+        """Ingest one hour; returns the events this tick produced.
+
+        Most ticks return ``[]``.  The tick completing a day returns one
+        ``"day"`` summary event plus one ``"alert"`` event per configured
+        horizon (when the forecast day is in scope and any sector
+        qualifies).
+        """
+        tick = self.engine.ingest_hour(values, missing, calendar_row)
+        if not tick.day_completed:
+            return []
+        events: list[dict] = []
+        labels = self.engine.ingestor.labels_daily
+        currently_hot = np.nonzero(labels[:, tick.t_day] == 1)[0]
+        events.append(
+            {
+                "type": "day",
+                "t_day": tick.t_day,
+                "hot_sectors": [int(i) for i in currently_hot],
+            }
+        )
+        if tick.t_day >= self.config.start_day:
+            for horizon in self.config.horizons:
+                alert = self._refresh_horizon(tick, horizon)
+                if alert is not None:
+                    events.append(alert)
+                    self.telemetry.inc("alerts_emitted")
+        return events
+
+    def _refresh_horizon(self, tick: IngestTick, horizon: int) -> dict | None:
+        scores = self.engine.predict(horizon)
+        order = np.argsort(-scores, kind="stable")[: self.config.top_k]
+        if self.config.alert_threshold is not None:
+            order = order[scores[order] >= self.config.alert_threshold]
+        if order.size == 0:
+            return None
+        return {
+            "type": "alert",
+            "t_day": tick.t_day,
+            "horizon": horizon,
+            "forecast_day": tick.t_day + horizon,
+            "model": self.engine.default_model,
+            "sectors": [int(i) for i in order],
+            "scores": [float(scores[i]) for i in order],
+        }
+
+    def stats(self) -> dict:
+        """Engine + registry + telemetry snapshot."""
+        return self.engine.stats()
+
+    # ----------------------------------------------------------------- jsonl
+    def run_jsonl(self, lines: Iterable[str], out: IO[str]) -> int:
+        """Drive the service from a JSON-lines stream.
+
+        Supported operations (one JSON object per input line):
+
+        * ``{"op": "tick", "values": [[...]], "missing": ..., "calendar": ...}``
+          — ingest one hour; emits any resulting day/alert events.
+        * ``{"op": "predict", "horizon": h, "model": ..., "window": ...}``
+          — on-demand forecast; emits a ``"prediction"`` event.
+        * ``{"op": "stats"}`` — emits a ``"stats"`` snapshot event.
+        * ``{"op": "stop"}`` — terminates the loop.
+
+        Malformed lines and failed operations emit ``"error"`` events
+        and the loop keeps running (a serving process must not die on
+        one bad payload).  Returns the number of processed operations.
+        """
+        processed = 0
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            processed += 1
+            try:
+                request = json.loads(line)
+                op = request.get("op")
+                if op == "stop":
+                    self._emit(out, {"type": "stopped", "processed": processed})
+                    break
+                self._handle(out, request, op)
+            except Exception as error:  # noqa: BLE001 - service must survive bad input
+                self._emit(out, {"type": "error", "message": str(error)})
+        return processed
+
+    def _handle(self, out: IO[str], request: dict, op: str | None) -> None:
+        if op == "tick":
+            values = np.asarray(request["values"], dtype=np.float64)
+            missing = request.get("missing")
+            if missing is not None:
+                missing = np.asarray(missing, dtype=bool)
+            calendar = request.get("calendar")
+            if calendar is not None:
+                calendar = np.asarray(calendar, dtype=np.float64)
+            for event in self.ingest_hour(values, missing, calendar):
+                self._emit(out, event)
+        elif op == "predict":
+            scores = self.engine.predict(
+                int(request["horizon"]),
+                model=request.get("model"),
+                window=request.get("window"),
+            )
+            self._emit(
+                out,
+                {
+                    "type": "prediction",
+                    "t_day": self.engine.t_day,
+                    "horizon": int(request["horizon"]),
+                    "scores": [float(s) for s in scores],
+                },
+            )
+        elif op == "stats":
+            self._emit(out, {"type": "stats", **self.stats()})
+        else:
+            self._emit(out, {"type": "error", "message": f"unknown op {op!r}"})
+
+    @staticmethod
+    def _emit(out: IO[str], event: dict) -> None:
+        out.write(json.dumps(event) + "\n")
+        out.flush()

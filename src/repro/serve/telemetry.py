@@ -1,0 +1,149 @@
+"""Serving-side observability: counters and latency histograms.
+
+The online service needs cheap, dependency-free instrumentation: how
+many ticks were ingested, how often the prediction cache hits, and how
+long ingest/predict calls take at the median and the tail.  Counters are
+plain integers; latencies go into fixed log-spaced bucket histograms
+(microseconds to seconds) so percentile estimates cost O(buckets) and
+memory stays constant no matter how long the service runs.
+
+Everything is exposed through :meth:`ServeTelemetry.stats`, a plain
+nested-dict snapshot that later observability layers (JSON endpoints,
+log shippers) can serialise directly.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["LatencyHistogram", "ServeTelemetry"]
+
+
+class LatencyHistogram:
+    """Log-spaced bucket histogram of durations in seconds.
+
+    Parameters
+    ----------
+    lo, hi:
+        Bounds of the bucketed range; durations outside it land in the
+        first/last (overflow) bucket.
+    n_buckets:
+        Number of geometric bucket boundaries between *lo* and *hi*.
+
+    Quantile estimates return the geometric midpoint of the bucket the
+    quantile falls into, so their relative error is bounded by the
+    bucket ratio (~16 % with the defaults) — plenty for p50/p99
+    monitoring without storing samples.
+    """
+
+    def __init__(self, lo: float = 1e-6, hi: float = 30.0, n_buckets: int = 64) -> None:
+        if not 0 < lo < hi:
+            raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+        if n_buckets < 2:
+            raise ValueError(f"n_buckets must be >= 2, got {n_buckets}")
+        #: Upper bound of each bucket; the final slot catches overflow.
+        self._bounds = np.geomspace(lo, hi, n_buckets)
+        self._counts = np.zeros(n_buckets + 1, dtype=np.int64)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one duration observation."""
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ValueError(f"duration must be non-negative, got {seconds}")
+        self._counts[int(np.searchsorted(self._bounds, seconds))] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (q in [0, 1]) from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        cumulative = np.cumsum(self._counts)
+        bucket = int(np.searchsorted(cumulative, rank, side="right"))
+        if bucket >= self._bounds.size:
+            return self.max
+        lo = self._bounds[bucket - 1] if bucket > 0 else 0.0
+        hi = self._bounds[bucket]
+        midpoint = np.sqrt(lo * hi) if lo > 0 else hi / 2.0
+        return float(min(midpoint, self.max))
+
+    def summary(self) -> dict:
+        """Snapshot: count, mean, p50, p99, and max (seconds)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
+
+
+class ServeTelemetry:
+    """Named counters and latency histograms for the serving layer.
+
+    Counters and histograms are created lazily on first use, so callers
+    just ``inc("ingest_ticks")`` or ``with telemetry.timer("predict"):``
+    without pre-registration.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    # ------------------------------------------------------------- counters
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Increment counter *name*; returns the new value."""
+        value = self._counters.get(name, 0) + amount
+        self._counters[name] = value
+        return value
+
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------ latencies
+    def histogram(self, name: str) -> LatencyHistogram:
+        """The histogram registered under *name* (created on first use)."""
+        if name not in self._histograms:
+            self._histograms[name] = LatencyHistogram()
+        return self._histograms[name]
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration into histogram *name*."""
+        self.histogram(name).record(seconds)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager timing its body into histogram *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # ------------------------------------------------------------- snapshot
+    def stats(self) -> dict:
+        """Plain-dict snapshot of every counter and histogram summary."""
+        return {
+            "counters": dict(self._counters),
+            "latency": {
+                name: histogram.summary()
+                for name, histogram in self._histograms.items()
+            },
+        }

@@ -14,7 +14,7 @@ class TestParser:
             action.dest: action for action in parser._actions
         }
         sub = actions["command"]
-        assert set(sub.choices) == {"generate", "analyze", "forecast", "sweep"}
+        assert set(sub.choices) == {"generate", "analyze", "forecast", "sweep", "serve"}
 
     def test_missing_required_out_errors(self):
         with pytest.raises(SystemExit):
@@ -25,6 +25,54 @@ class TestParser:
         assert args.target == "hot"
         assert args.window == 7
         assert args.horizons == [1, 5, 7, 14]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--data", "x.npz", "--registry", "models"]
+        )
+        assert args.model == "RF-F1"
+        assert args.window == 7
+        assert args.horizons == [1]
+        assert args.top_k == 5
+        assert not args.from_stdin
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_quiet_flag_default_false(self):
+        args = build_parser().parse_args(["analyze", "--data", "x.npz"])
+        assert args.quiet is False
+        args = build_parser().parse_args(["--quiet", "analyze", "--data", "x.npz"])
+        assert args.quiet is True
+
+
+class TestQuietAndErrors:
+    def test_quiet_suppresses_progress_lines(self, tmp_path, capsys):
+        data_path = str(tmp_path / "net.npz")
+        assert cli_main([
+            "--quiet", "generate", "--towers", "6", "--weeks", "6",
+            "--out", data_path,
+        ]) == 0
+        assert capsys.readouterr().out == ""
+        assert cli_main([
+            "--quiet", "analyze", "--data", data_path, "--impute-epochs", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sector filter kept" not in out
+        assert "weekly patterns" in out  # results still print
+
+    def test_missing_data_file_exits_cleanly(self, tmp_path, capsys):
+        code = cli_main(["analyze", "--data", str(tmp_path / "nope.npz")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+        assert "no dataset found" in captured.err
+        assert "Traceback" not in captured.err
 
 
 class TestSweepRangeGuard:

@@ -108,6 +108,24 @@ class TestStore:
         np.testing.assert_allclose(loaded.score_daily, scored_dataset.score_daily)
         np.testing.assert_array_equal(loaded.labels_daily, scored_dataset.labels_daily)
 
+    def test_suffix_added_when_missing(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "data")
+        assert path.name == "data.npz"
+        # Both the bare and the suffixed spelling load it back.
+        assert load_dataset(tmp_path / "data").n_sectors == small_dataset.n_sectors
+        assert load_dataset(path).n_sectors == small_dataset.n_sectors
+
+    def test_dotted_stem_round_trips(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "data.v2")
+        assert path.name == "data.v2.npz"
+        assert load_dataset(tmp_path / "data.v2").n_sectors == small_dataset.n_sectors
+
+    def test_missing_file_clean_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no dataset found"):
+            load_dataset(tmp_path / "absent")
+        with pytest.raises(FileNotFoundError, match="hotspot-repro generate"):
+            load_dataset(tmp_path / "absent.npz")
+
     def test_result_table_roundtrip(self, tmp_path):
         rows = [
             {"model": "RF-R", "t": 60, "lift": 5.5},

@@ -1,0 +1,156 @@
+"""Model registry: exact persistence round-trips and warm-cache behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import BaselineModel
+from repro.core.experiment import ALL_MODEL_NAMES, BASELINE_NAMES, SweepRunner
+from repro.core.features import build_feature_tensor
+from repro.serve import ModelKey, ModelRegistry, train_and_register
+
+T_DAY, HORIZON, WINDOW = 100, 3, 7
+
+
+@pytest.fixture(scope="module")
+def runner(scored_dataset):
+    return SweepRunner(
+        scored_dataset, target="hot", n_estimators=3, n_training_days=3, seed=13
+    )
+
+
+@pytest.fixture(scope="module")
+def features(scored_dataset):
+    return build_feature_tensor(scored_dataset)
+
+
+class TestModelKey:
+    def test_filename_roundtrip(self):
+        key = ModelKey("hot", "RF-F1", 7, 21)
+        assert key.filename == "hot__RF-F1__h007__w021.npz"
+        assert ModelKey.from_filename(key.filename) == key
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="horizon and window"):
+            ModelKey("hot", "RF-F1", 0, 7)
+        with pytest.raises(ValueError, match="must not contain"):
+            ModelKey("hot", "bad__name", 1, 7)
+        with pytest.raises(ValueError, match="must not contain"):
+            ModelKey("a/b", "RF-F1", 1, 7)
+
+
+class TestExactRoundTrip:
+    @pytest.mark.parametrize("model_name", ALL_MODEL_NAMES)
+    def test_reloaded_model_reproduces_forecasts(
+        self, model_name, runner, features, scored_dataset, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path)
+        key = ModelKey("hot", model_name, HORIZON, WINDOW)
+        trained = runner.train_cell(model_name, T_DAY, HORIZON, WINDOW)
+        registry.save(key, trained)
+        reloaded = registry.load(key)
+        if model_name in BASELINE_NAMES:
+            args = (
+                scored_dataset.score_daily,
+                scored_dataset.labels_daily,
+                T_DAY,
+                HORIZON,
+                WINDOW,
+            )
+            np.testing.assert_array_equal(
+                trained.forecast(*args), reloaded.forecast(*args)
+            )
+        else:
+            np.testing.assert_array_equal(
+                trained.forecast(features, T_DAY, WINDOW),
+                reloaded.forecast(features, T_DAY, WINDOW),
+            )
+
+    def test_reloaded_forecaster_matches_on_other_days(
+        self, runner, features, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path)
+        key = ModelKey("hot", "GBT", HORIZON, WINDOW)
+        trained = runner.train_cell("GBT", T_DAY, HORIZON, WINDOW)
+        registry.save(key, trained)
+        reloaded = registry.load(key)
+        for t_day in (80, 110, 120):
+            np.testing.assert_array_equal(
+                trained.forecast(features, t_day, WINDOW),
+                reloaded.forecast(features, t_day, WINDOW),
+            )
+
+    def test_baseline_random_state_persists(self, runner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = ModelKey("hot", "Random", HORIZON, WINDOW)
+        trained = runner.train_cell("Random", T_DAY, HORIZON, WINDOW)
+        registry.save(key, trained)
+        reloaded = registry.load(key)
+        assert isinstance(reloaded, BaselineModel)
+        assert reloaded.random_state == trained.random_state
+
+
+class TestRegistry:
+    def test_missing_model_clean_error(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(FileNotFoundError, match="no registered model"):
+            registry.load(ModelKey("hot", "RF-F1", 1, 7))
+
+    def test_contains_and_keys(self, runner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = ModelKey("hot", "Average", 1, 7)
+        assert key not in registry
+        registry.save(key, runner.train_cell("Average", T_DAY, 1, 7))
+        assert key in registry
+        # A cold registry (fresh instance, same directory) also sees it.
+        assert key in ModelRegistry(tmp_path)
+        # Foreign npz files in the directory are skipped, not fatal.
+        np.savez(tmp_path / "not-a-model.npz", data=np.arange(3))
+        assert ModelRegistry(tmp_path).keys() == [key]
+
+    def test_warm_lru_eviction(self, runner, tmp_path):
+        registry = ModelRegistry(tmp_path, max_warm=2)
+        model = runner.train_cell("Average", T_DAY, 1, 7)
+        keys = [ModelKey("hot", "Average", h, 7) for h in (1, 2, 3)]
+        for key in keys:
+            registry.save(key, model)
+        stats = registry.stats()
+        assert stats["warm_models"] == 2
+        assert stats["evictions"] == 1
+        assert stats["saves"] == 3
+        # keys[0] was evicted: getting it is a disk load, not a warm hit.
+        registry.get(keys[0])
+        assert registry.stats()["disk_loads"] == 1
+        registry.get(keys[0])
+        assert registry.stats()["warm_hits"] == 1
+
+    def test_evict_all_reloads_from_disk(self, runner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = ModelKey("hot", "Persist", 1, 7)
+        registry.save(key, runner.train_cell("Persist", T_DAY, 1, 7))
+        registry.evict_all()
+        assert registry.stats()["warm_models"] == 0
+        registry.get(key)
+        assert registry.stats()["disk_loads"] == 1
+
+    def test_max_warm_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_warm"):
+            ModelRegistry(tmp_path, max_warm=0)
+
+
+class TestTrainAndRegister:
+    def test_grid_registered_once(self, runner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        keys = train_and_register(
+            runner, registry, ("Average", "Persist"), T_DAY, (1, 2), (7,)
+        )
+        assert len(keys) == 4
+        assert all(key in registry for key in keys)
+        assert registry.stats()["saves"] == 4
+        # Second call without overwrite trains/saves nothing new.
+        again = train_and_register(
+            runner, registry, ("Average", "Persist"), T_DAY, (1, 2), (7,)
+        )
+        assert again == keys
+        assert registry.stats()["saves"] == 4

@@ -1,0 +1,101 @@
+"""Serving telemetry: counters, latency histograms, quantile estimates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import LatencyHistogram, ServeTelemetry
+
+
+class TestLatencyHistogram:
+    def test_count_mean_max(self):
+        histogram = LatencyHistogram()
+        for seconds in (0.001, 0.002, 0.003):
+            histogram.record(seconds)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(0.002)
+        assert histogram.max == pytest.approx(0.003)
+
+    def test_quantiles_bracket_true_values(self):
+        histogram = LatencyHistogram()
+        for _ in range(100):
+            histogram.record(0.010)
+        for _ in range(5):
+            histogram.record(1.0)
+        # p50 sits in the 10 ms bucket (bucket ratio ~1.3 with defaults),
+        # p99 in the 1 s bucket.
+        assert 0.005 < histogram.quantile(0.50) < 0.020
+        assert 0.5 < histogram.quantile(0.99) <= 1.0
+
+    def test_quantiles_monotonic(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 200):
+            histogram.record(i * 1e-4)
+        estimates = [histogram.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert estimates == sorted(estimates)
+        assert estimates[-1] == histogram.max
+
+    def test_out_of_range_observations_clamped(self):
+        histogram = LatencyHistogram(lo=1e-3, hi=1.0, n_buckets=8)
+        histogram.record(1e-9)  # below lo -> first bucket
+        histogram.record(100.0)  # above hi -> overflow bucket
+        assert histogram.count == 2
+        assert histogram.quantile(1.0) == pytest.approx(100.0)
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.99) == 0.0
+        assert histogram.summary()["count"] == 0
+
+    def test_summary_keys(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.5)
+        assert set(histogram.summary()) == {"count", "mean", "p50", "p99", "max"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lo"):
+            LatencyHistogram(lo=0.0)
+        with pytest.raises(ValueError, match="n_buckets"):
+            LatencyHistogram(n_buckets=1)
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError, match="non-negative"):
+            histogram.record(-1.0)
+        with pytest.raises(ValueError, match="q must be"):
+            histogram.quantile(1.5)
+
+
+class TestServeTelemetry:
+    def test_counters(self):
+        telemetry = ServeTelemetry()
+        assert telemetry.counter("ticks") == 0
+        assert telemetry.inc("ticks") == 1
+        assert telemetry.inc("ticks", 5) == 6
+        assert telemetry.counter("ticks") == 6
+
+    def test_timer_records_into_histogram(self):
+        telemetry = ServeTelemetry()
+        with telemetry.timer("op"):
+            pass
+        assert telemetry.histogram("op").count == 1
+        assert telemetry.histogram("op").max >= 0.0
+
+    def test_timer_records_on_exception(self):
+        telemetry = ServeTelemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry.timer("op"):
+                raise RuntimeError("boom")
+        assert telemetry.histogram("op").count == 1
+
+    def test_observe_and_stats_snapshot(self):
+        telemetry = ServeTelemetry()
+        telemetry.inc("hits", 3)
+        telemetry.observe("lat", 0.25)
+        stats = telemetry.stats()
+        assert stats["counters"] == {"hits": 3}
+        assert stats["latency"]["lat"]["count"] == 1
+        assert stats["latency"]["lat"]["max"] == pytest.approx(0.25)
+
+    def test_histograms_created_lazily_once(self):
+        telemetry = ServeTelemetry()
+        assert telemetry.histogram("a") is telemetry.histogram("a")
