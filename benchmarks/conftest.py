@@ -6,7 +6,10 @@ Scale knobs (environment variables):
   the paper's network is ~100x larger but structurally identical);
 * ``REPRO_BENCH_NT`` — number of forecast days ``t`` sampled from the
   paper's {52..87} range (default 3);
-* ``REPRO_BENCH_ESTIMATORS`` — forest size (default 10).
+* ``REPRO_BENCH_ESTIMATORS`` — forest size (default 10);
+* ``REPRO_BENCH_JOBS`` — worker processes for the shared sweeps (default
+  1 = serial, 0 = all cores; results are identical for any value, see
+  DESIGN.md's determinism contract).
 
 All heavy computation happens once per session here; each bench times a
 representative kernel and renders its paper table from the shared
@@ -19,7 +22,6 @@ import os
 import sys
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
@@ -39,6 +41,7 @@ from repro.core.experiment import ALL_MODEL_NAMES, SweepGrid, SweepRunner
 BENCH_TOWERS = int(os.environ.get("REPRO_BENCH_TOWERS", "40"))
 BENCH_NT = int(os.environ.get("REPRO_BENCH_NT", "3"))
 BENCH_ESTIMATORS = int(os.environ.get("REPRO_BENCH_ESTIMATORS", "10"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 #: Horizons used by the lift-vs-h benches (a subset of the paper's 15
 #: values that preserves the weekly-peak structure: 7/8, 14/15, 22, 29).
@@ -101,7 +104,7 @@ def become_bench_dataset():
 def hot_runner(bench_dataset):
     return SweepRunner(
         bench_dataset, target="hot", n_estimators=BENCH_ESTIMATORS,
-        n_training_days=6, seed=0,
+        n_training_days=6, seed=0, n_jobs=BENCH_JOBS,
     )
 
 
@@ -109,7 +112,7 @@ def hot_runner(bench_dataset):
 def become_runner(become_bench_dataset):
     return SweepRunner(
         become_bench_dataset, target="become", n_estimators=BENCH_ESTIMATORS,
-        n_training_days=10, seed=0,
+        n_training_days=10, seed=0, n_jobs=BENCH_JOBS,
     )
 
 

@@ -25,7 +25,7 @@ import sys
 
 from repro.analysis import dynamics_report
 from repro.core.experiment import ALL_MODEL_NAMES, SweepGrid, SweepRunner
-from repro.core.scoring import ScoreConfig, attach_scores
+from repro.core.scoring import attach_scores
 from repro.data.store import load_dataset, save_dataset, save_result_table
 from repro.data.tensor import HOURS_PER_DAY
 from repro.imputation import DAEImputer, DAEImputerConfig, filter_sectors
@@ -83,15 +83,23 @@ def _cmd_forecast(args: argparse.Namespace) -> int:
         n_training_days=args.training_days,
         seed=args.seed,
     )
+    # The comparison is itself a small sweep grid, so it can fan out
+    # over worker processes like the full sweep does.
+    grid = SweepGrid(
+        models=ALL_MODEL_NAMES,
+        t_days=(args.t_day,),
+        horizons=tuple(args.horizons),
+        windows=(args.window,),
+    )
+    results = runner.run(grid, n_jobs=args.jobs)
+    lift_by_cell = {(r.model, r.horizon): r.evaluation.lift for r in results}
     print(f"\n{args.target} forecast, w={args.window}:")
     header = "model    " + "".join(f"  h={h:<4d}" for h in args.horizons)
     print(header)
     for model in ALL_MODEL_NAMES:
-        lifts = []
-        for horizon in args.horizons:
-            cell = runner.run_cell(model, args.t_day, horizon, args.window)
-            lifts.append(cell.evaluation.lift)
-        row = f"{model:8s}" + "".join(f"  {lift:6.2f}" for lift in lifts)
+        row = f"{model:8s}" + "".join(
+            f"  {lift_by_cell[(model, horizon)]:6.2f}" for horizon in args.horizons
+        )
         print(row)
     return 0
 
@@ -104,6 +112,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         n_estimators=args.estimators,
         n_training_days=args.training_days,
         seed=args.seed,
+        n_jobs=args.jobs,
     )
     # Fit the t range to the data: leave room for the largest horizon
     # (plus the week the 'become' target needs) after t, and for the
@@ -166,6 +175,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         horizons,
         (args.window,),
         overwrite=True,
+        n_jobs=args.jobs,
     )
     _info(
         f"registered {len(keys)} model(s) under {registry.root}",
@@ -246,6 +256,13 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--data", required=True, help="dataset .npz from 'generate'")
     common.add_argument("--impute-epochs", type=int, default=10)
     common.add_argument("--seed", type=int, default=0)
+    common.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, 0 = all cores); results are "
+        "identical for any value",
+    )
 
     ana = sub.add_parser("analyze", parents=[common], help="Sec. III dynamics summaries")
     ana.set_defaults(func=_cmd_analyze)

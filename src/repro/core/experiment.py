@@ -13,7 +13,9 @@ one :class:`ExperimentResult` per evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import sys
+from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -30,7 +32,6 @@ from repro.core.forecaster import MODEL_REGISTRY, make_model
 from repro.core.labels import become_hot_labels
 from repro.core.scoring import ScoreConfig
 from repro.data.dataset import Dataset
-from repro.ml.rng import ensure_rng, spawn_rngs
 
 __all__ = ["SweepGrid", "ExperimentResult", "SweepRunner", "BASELINE_NAMES", "ALL_MODEL_NAMES"]
 
@@ -101,6 +102,19 @@ class SweepGrid:
             len(self.models) * len(self.t_days) * len(self.horizons) * len(self.windows)
         )
 
+    def cells(self) -> Iterator[tuple[str, int, int, int]]:
+        """Every (model, t, h, w) cell in canonical sweep order.
+
+        This is the single source of cell ordering: the serial loop and
+        the parallel executor both enumerate it, which is what makes
+        their result lists row-for-row identical.
+        """
+        for model_name in self.models:
+            for window in self.windows:
+                for horizon in self.horizons:
+                    for t_day in self.t_days:
+                        yield model_name, t_day, horizon, window
+
 
 @dataclass(frozen=True)
 class ExperimentResult:
@@ -145,6 +159,12 @@ class SweepRunner:
         Passed to the classifier models.
     seed:
         Master seed; every (model, t, h, w) cell gets a derived stream.
+    n_jobs:
+        Default worker-process count for :meth:`run`: 1 stays serial,
+        0/None uses every core, negative counts back from the core
+        count.  Any value produces identical results (see DESIGN.md's
+        determinism contract); the runner degrades to the serial loop
+        when shared memory or process pools are unavailable.
     """
 
     def __init__(
@@ -155,6 +175,7 @@ class SweepRunner:
         n_estimators: int = 20,
         n_training_days: int = 6,
         seed: int = 0,
+        n_jobs: int | None = 1,
     ) -> None:
         if target not in ("hot", "become"):
             raise ValueError(f"target must be 'hot' or 'become', got {target!r}")
@@ -165,6 +186,7 @@ class SweepRunner:
         self.n_estimators = n_estimators
         self.n_training_days = n_training_days
         self.seed = seed
+        self.n_jobs = n_jobs
 
         self.features: FeatureTensor = build_feature_tensor(dataset, self.score_config)
         self.score_daily = dataset.score_daily
@@ -179,27 +201,85 @@ class SweepRunner:
                 dtype=np.int64,
             )
 
+    @classmethod
+    def from_worker_state(
+        cls,
+        *,
+        features_values: np.ndarray,
+        channel_names: list[str],
+        n_extra_channels: int,
+        score_daily: np.ndarray,
+        labels_daily: np.ndarray,
+        targets_daily: np.ndarray,
+        target: str,
+        score_config: ScoreConfig,
+        n_estimators: int,
+        n_training_days: int,
+        seed: int,
+    ) -> "SweepRunner":
+        """Rebuild a runner inside a worker process, without a Dataset.
+
+        The parallel executor ships the already-built feature tensor and
+        target matrices (as shared-memory views) instead of the dataset,
+        skipping the per-worker cost of :func:`build_feature_tensor`;
+        everything :meth:`run_cell` touches is restored exactly.
+        """
+        runner = cls.__new__(cls)
+        runner.dataset = None
+        runner.target = target
+        runner.score_config = score_config
+        runner.n_estimators = n_estimators
+        runner.n_training_days = n_training_days
+        runner.seed = seed
+        runner.n_jobs = 1
+        runner.features = FeatureTensor(
+            values=features_values,
+            channel_names=list(channel_names),
+            n_extra_channels=n_extra_channels,
+        )
+        runner.score_daily = score_daily
+        runner.labels_daily = labels_daily
+        runner.targets_daily = targets_daily
+        return runner
+
     # ------------------------------------------------------------------ run
-    def run(self, grid: SweepGrid, progress: bool = False) -> list[ExperimentResult]:
+    def run(
+        self,
+        grid: SweepGrid,
+        progress: bool = False,
+        n_jobs: int | None = None,
+    ) -> list[ExperimentResult]:
         """Run every grid combination; returns one result per cell.
 
         Cells whose evaluation day has no positive target labels yield a
         result with NaN psi/lift (``evaluation.defined`` is False);
         aggregation helpers skip them.
+
+        *n_jobs* overrides the constructor's worker count for this call.
+        Because every cell derives its own CRC32 seed, the parallel path
+        returns exactly the rows the serial loop would; progress lines
+        go to stderr so stdout stays machine-parseable.
         """
+        jobs = self.n_jobs if n_jobs is None else n_jobs
+        from repro.parallel.pool import effective_jobs
+
+        if effective_jobs(jobs, grid.n_combinations) > 1:
+            from repro.parallel.sweep import (
+                ParallelExecutionUnavailable,
+                run_sweep_parallel,
+            )
+
+            try:
+                return run_sweep_parallel(self, grid, jobs, progress=progress)
+            except ParallelExecutionUnavailable:
+                pass  # degrade to the serial loop below
+
         results: list[ExperimentResult] = []
         total = grid.n_combinations
-        done = 0
-        for model_name in grid.models:
-            for window in grid.windows:
-                for horizon in grid.horizons:
-                    for t_day in grid.t_days:
-                        results.append(
-                            self.run_cell(model_name, t_day, horizon, window)
-                        )
-                        done += 1
-                        if progress and done % 50 == 0:
-                            print(f"  sweep progress: {done}/{total}")
+        for done, (model_name, t_day, horizon, window) in enumerate(grid.cells(), 1):
+            results.append(self.run_cell(model_name, t_day, horizon, window))
+            if progress and done % 50 == 0:
+                print(f"  sweep progress: {done}/{total}", file=sys.stderr)
         return results
 
     def run_cell(
@@ -236,7 +316,12 @@ class SweepRunner:
         return zlib.crc32(key) % (2**31)
 
     def train_cell(
-        self, model_name: str, t_day: int, horizon: int, window: int
+        self,
+        model_name: str,
+        t_day: int,
+        horizon: int,
+        window: int,
+        n_jobs: int | None = 1,
     ):
         """Fit and return the model of one sweep cell, without evaluating.
 
@@ -245,13 +330,23 @@ class SweepRunner:
         forecasts reproduce the sweep's exactly.  Baselines are stateless
         and are returned ready to use.  The serving layer uses this to
         export trained models into a :class:`repro.serve.ModelRegistry`
-        instead of discarding them after evaluation.
+        instead of discarding them after evaluation.  *n_jobs* fans the
+        member-tree fitting of forest models out over worker processes
+        (the trained model is identical for any value).
         """
         cell_seed = self._cell_seed(model_name, t_day, horizon, window)
-        return self._fit_cell_model(model_name, t_day, horizon, window, cell_seed)
+        return self._fit_cell_model(
+            model_name, t_day, horizon, window, cell_seed, n_jobs=n_jobs
+        )
 
     def _fit_cell_model(
-        self, model_name: str, t_day: int, horizon: int, window: int, seed: int
+        self,
+        model_name: str,
+        t_day: int,
+        horizon: int,
+        window: int,
+        seed: int,
+        n_jobs: int | None = 1,
     ):
         if model_name in BASELINE_NAMES:
             return self._make_baseline(model_name, seed)
@@ -260,6 +355,7 @@ class SweepRunner:
             n_estimators=self.n_estimators,
             n_training_days=self.n_training_days,
             random_state=seed,
+            n_jobs=n_jobs,
         )
         model.fit(self.features, self.targets_daily, t_day, horizon, window)
         return model

@@ -20,7 +20,6 @@ Eq. 7 exactly with its own shifted window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -65,6 +64,11 @@ class HotSpotForecaster:
         docstring).
     random_state:
         Seed or Generator for the underlying learner.
+    n_jobs:
+        Worker processes for forest fitting/prediction (forwarded to
+        :class:`~repro.ml.forest.RandomForestClassifier`; ignored by the
+        single tree and the sequential boosting stages).  The fitted
+        model is identical for any value.
 
     Attributes
     ----------
@@ -81,6 +85,7 @@ class HotSpotForecaster:
         n_training_days: int = 6,
         max_depth: int | None = None,
         random_state: int | np.random.Generator | None = None,
+        n_jobs: int | None = 1,
     ) -> None:
         if kind not in ("tree", "forest", "boosting"):
             raise ValueError(
@@ -98,6 +103,7 @@ class HotSpotForecaster:
         self.n_training_days = n_training_days
         self.max_depth = max_depth
         self.random_state = random_state
+        self.n_jobs = n_jobs
         self._view: FeatureView = _FEATURE_VIEWS[feature_view]
         self._model: DecisionTreeClassifier | RandomForestClassifier | None = None
 
@@ -178,6 +184,7 @@ class HotSpotForecaster:
                 min_weight_fraction_split=0.0002,
                 max_depth=self.max_depth,
                 random_state=rng,
+                n_jobs=self.n_jobs,
             )
         model.fit(design, labels)
         self._model = model
@@ -258,6 +265,7 @@ def make_model(
     n_estimators: int = 20,
     n_training_days: int = 6,
     random_state: int | np.random.Generator | None = None,
+    n_jobs: int | None = 1,
 ) -> HotSpotForecaster:
     """Instantiate a registry model (``Tree``, ``RF-R``, ``RF-F1``, ``RF-F2``)."""
     if name not in MODEL_REGISTRY:
@@ -269,4 +277,5 @@ def make_model(
         n_estimators=n_estimators,
         n_training_days=n_training_days,
         random_state=random_state,
+        n_jobs=n_jobs,
     )

@@ -7,13 +7,20 @@ most sqrt(p) features per split, class-balanced sample weights, deep
 trees stopped only when a node's weight drops below 0.02 % of the total.
 Predictions average the member class probabilities (bagging), and feature
 importances average the members' normalised Gini importances.
+
+Members are independent once their randomness is fixed, so fitting and
+prediction optionally fan out over worker processes (``n_jobs``): the
+bootstrap resamples and per-tree seeds are pre-drawn in tree order
+(:func:`repro.ml.rng.spawn_seeds`), which makes the parallel result
+bitwise identical to the serial one for any worker count.  See
+:mod:`repro.parallel.forest` for the execution layer.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.rng import ensure_rng, spawn_rngs
+from repro.ml.rng import ensure_rng, spawn_seeds
 from repro.ml.tree import DecisionTreeClassifier
 
 __all__ = ["RandomForestClassifier"]
@@ -43,6 +50,12 @@ class RandomForestClassifier:
         them in ``oob_proba_`` after fitting.
     random_state:
         Seed or Generator; member trees get independent child streams.
+    n_jobs:
+        Worker processes for fitting and prediction: 1 (default) stays
+        serial, 0/None uses every core, negative counts back from the
+        core count.  Results are identical for every value; the forest
+        silently falls back to serial when process pools or shared
+        memory are unavailable.
 
     Attributes
     ----------
@@ -64,6 +77,7 @@ class RandomForestClassifier:
         bootstrap: bool = True,
         oob_score: bool = False,
         random_state: int | np.random.Generator | None = None,
+        n_jobs: int | None = 1,
     ) -> None:
         if n_estimators <= 0:
             raise ValueError(f"n_estimators must be positive, got {n_estimators}")
@@ -75,6 +89,7 @@ class RandomForestClassifier:
         self.bootstrap = bootstrap
         self.oob_score = oob_score
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def fit(
         self,
@@ -93,38 +108,43 @@ class RandomForestClassifier:
         self.classes_ = np.unique(y)
         n_classes = self.classes_.size
 
+        # Pre-draw everything order-dependent in tree order: the k-th
+        # bootstrap resample is the k-th draw of the bootstrap stream and
+        # tree k owns the k-th spawned seed, no matter which process ends
+        # up fitting it.
         rng = ensure_rng(self.random_state)
-        bootstrap_rng, *tree_rngs = spawn_rngs(rng, self.n_estimators + 1)
+        bootstrap_seed, *tree_seeds = spawn_seeds(rng, self.n_estimators + 1)
+        bootstrap_rng = np.random.default_rng(bootstrap_seed)
+        if self.bootstrap:
+            bootstrap_index = np.stack(
+                [
+                    bootstrap_rng.integers(0, n_samples, size=n_samples)
+                    for _ in range(self.n_estimators)
+                ]
+            )
+        else:
+            bootstrap_index = np.broadcast_to(
+                np.arange(n_samples), (self.n_estimators, n_samples)
+            )
 
-        self.estimators_: list[DecisionTreeClassifier] = []
+        trees = self._fit_members(X, y, sample_weight, bootstrap_index, tree_seeds)
+
+        # Aggregate in tree order so floating-point reductions match the
+        # serial path regardless of which worker finished first.
+        self.estimators_ = trees
+        self._class_positions_ = [self._position_map(tree) for tree in trees]
         importances = np.zeros(X.shape[1])
         oob_sum = np.zeros((n_samples, n_classes))
         oob_count = np.zeros(n_samples)
-
-        for tree_rng in tree_rngs:
-            if self.bootstrap:
-                sample_index = bootstrap_rng.integers(0, n_samples, size=n_samples)
-            else:
-                sample_index = np.arange(n_samples)
-            tree = DecisionTreeClassifier(
-                max_features=self.max_features,
-                min_weight_fraction_split=self.min_weight_fraction_split,
-                max_depth=self.max_depth,
-                class_balance=self.class_balance,
-                random_state=tree_rng,
-            )
-            member_weight = (
-                None if sample_weight is None else sample_weight[sample_index]
-            )
-            tree.fit(X[sample_index], y[sample_index], sample_weight=member_weight)
-            self.estimators_.append(tree)
+        for k, tree in enumerate(trees):
             importances += self._aligned_importances(tree, X.shape[1])
-
             if self.oob_score and self.bootstrap:
                 out_of_bag = np.ones(n_samples, dtype=bool)
-                out_of_bag[sample_index] = False
+                out_of_bag[bootstrap_index[k]] = False
                 if out_of_bag.any():
-                    proba = self._expand_proba(tree, X[out_of_bag])
+                    proba = self._expand_proba(
+                        tree, X[out_of_bag], self._class_positions_[k]
+                    )
                     oob_sum[out_of_bag] += proba
                     oob_count[out_of_bag] += 1
 
@@ -134,6 +154,58 @@ class RandomForestClassifier:
                 self.oob_proba_ = oob_sum / oob_count[:, None]
         return self
 
+    def _fit_members(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None,
+        bootstrap_index: np.ndarray,
+        tree_seeds: list[int],
+    ) -> list[DecisionTreeClassifier]:
+        """Fit the member trees, across processes when n_jobs allows."""
+        from repro.parallel.pool import effective_jobs
+
+        if effective_jobs(self.n_jobs, self.n_estimators) > 1:
+            from repro.parallel.forest import (
+                ForestParallelUnavailable,
+                fit_trees_parallel,
+            )
+
+            try:
+                return fit_trees_parallel(
+                    X,
+                    y,
+                    sample_weight,
+                    np.ascontiguousarray(bootstrap_index),
+                    tree_seeds,
+                    {
+                        "max_features": self.max_features,
+                        "min_weight_fraction_split": self.min_weight_fraction_split,
+                        "max_depth": self.max_depth,
+                        "class_balance": self.class_balance,
+                    },
+                    self.n_jobs,
+                )
+            except ForestParallelUnavailable:
+                pass  # degrade to the serial loop below
+
+        trees: list[DecisionTreeClassifier] = []
+        for k, seed in enumerate(tree_seeds):
+            sample_index = bootstrap_index[k]
+            tree = DecisionTreeClassifier(
+                max_features=self.max_features,
+                min_weight_fraction_split=self.min_weight_fraction_split,
+                max_depth=self.max_depth,
+                class_balance=self.class_balance,
+                random_state=np.random.default_rng(seed),
+            )
+            member_weight = (
+                None if sample_weight is None else sample_weight[sample_index]
+            )
+            tree.fit(X[sample_index], y[sample_index], sample_weight=member_weight)
+            trees.append(tree)
+        return trees
+
     def _aligned_importances(
         self, tree: DecisionTreeClassifier, n_features: int
     ) -> np.ndarray:
@@ -142,29 +214,69 @@ class RandomForestClassifier:
             raise RuntimeError("member tree feature count mismatch")
         return imp
 
-    def _expand_proba(self, tree: DecisionTreeClassifier, X: np.ndarray) -> np.ndarray:
-        """Map a member's probabilities onto the forest's class axis.
+    def _position_map(self, tree: DecisionTreeClassifier) -> np.ndarray | None:
+        """Member → forest class positions; None when the axes coincide.
 
         A bootstrap resample can miss a class entirely; the member then
-        knows fewer classes than the forest.
+        knows fewer classes than the forest.  Computed once per member
+        at fit time (and cached lazily for deserialised forests) instead
+        of re-deriving it on every ``predict_proba`` call.
         """
-        member_proba = tree.predict_proba(X)
         if tree.classes_.size == self.classes_.size and np.array_equal(
             tree.classes_, self.classes_
         ):
+            return None
+        return np.searchsorted(self.classes_, tree.classes_)
+
+    def _member_positions(self) -> list[np.ndarray | None]:
+        cached = getattr(self, "_class_positions_", None)
+        if cached is None or len(cached) != len(self.estimators_):
+            cached = [self._position_map(tree) for tree in self.estimators_]
+            self._class_positions_ = cached
+        return cached
+
+    def _expand_proba(
+        self,
+        tree: DecisionTreeClassifier,
+        X: np.ndarray,
+        positions: np.ndarray | None,
+    ) -> np.ndarray:
+        """Map a member's probabilities onto the forest's class axis."""
+        member_proba = tree.predict_proba(X)
+        if positions is None:
             return member_proba
         out = np.zeros((X.shape[0], self.classes_.size))
-        positions = np.searchsorted(self.classes_, tree.classes_)
         out[:, positions] = member_proba
         return out
 
-    def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Bagged class probabilities: the mean over member trees."""
+    def predict_proba(self, X: np.ndarray, n_jobs: int | None = None) -> np.ndarray:
+        """Bagged class probabilities: the mean over member trees.
+
+        *n_jobs* overrides the constructor's worker count for this call;
+        row blocks are distributed across processes, each computing the
+        full tree-order average for its rows, so the result is identical
+        to the serial path.
+        """
         self._check_fitted()
         X = np.asarray(X, dtype=np.float64)
+        jobs = self.n_jobs if n_jobs is None else n_jobs
+        from repro.parallel.pool import effective_jobs
+
+        if effective_jobs(jobs, X.shape[0]) > 1:
+            from repro.parallel.forest import (
+                ForestParallelUnavailable,
+                predict_proba_parallel,
+            )
+
+            try:
+                return predict_proba_parallel(self, X, jobs)
+            except ForestParallelUnavailable:
+                pass  # degrade to the serial loop below
+
+        positions = self._member_positions()
         total = np.zeros((X.shape[0], self.classes_.size))
-        for tree in self.estimators_:
-            total += self._expand_proba(tree, X)
+        for tree, position in zip(self.estimators_, positions):
+            total += self._expand_proba(tree, X, position)
         return total / self.n_estimators
 
     def predict(self, X: np.ndarray) -> np.ndarray:

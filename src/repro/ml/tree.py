@@ -269,6 +269,23 @@ class DecisionTreeClassifier:
             X, node_y, node_w, index, parent_impurity, node_weight, features
         )
 
+    @staticmethod
+    def _sorted_node_block(
+        X: np.ndarray, index: np.ndarray, chunk: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Node rows of the candidate features, sorted once per chunk.
+
+        Both split paths need every candidate column in ascending order;
+        this helper gathers the ``(n_node, n_chunk)`` block with a single
+        fancy index (``np.ix_`` instead of a row copy followed by a
+        column copy) and one stable argsort call for the whole chunk, and
+        both paths reuse the returned order for their cumulative sums and
+        threshold lookups.
+        """
+        block = X[np.ix_(index, chunk)]
+        order = np.argsort(block, axis=0, kind="stable")
+        return order, np.take_along_axis(block, order, axis=0)
+
     def _best_split_binary(
         self,
         X: np.ndarray,
@@ -295,9 +312,7 @@ class DecisionTreeClassifier:
         best: tuple[int, float, float] | None = None
         for start in range(0, features.size, chunk_size):
             chunk = features[start : start + chunk_size]
-            block = X[index][:, chunk]                       # (n, f)
-            order = np.argsort(block, axis=0, kind="stable")
-            sorted_vals = np.take_along_axis(block, order, axis=0)
+            order, sorted_vals = self._sorted_node_block(X, index, chunk)
             pos_sorted = pos_w[order]
             all_sorted = node_w[order]
             cum_pos = np.cumsum(pos_sorted, axis=0)[:-1]     # (n-1, f)
@@ -333,40 +348,60 @@ class DecisionTreeClassifier:
         node_weight: float,
         features: np.ndarray,
     ) -> tuple[int, float, float] | None:
+        """Chunked vectorised split search for three or more classes.
+
+        Mirrors :meth:`_best_split_binary`: candidate features are
+        processed in blocks sharing one stable argsort call, and the
+        per-class cumulative weight sums run over the whole
+        ``(n-1, chunk, n_classes)`` block at once instead of one sort
+        and one cumsum per feature.  Chunks are sized to bound the
+        working set at ``O(chunk * n_node * n_classes)``.
+        """
+        n = index.size
+        # Per-class weight matrix for vectorised cumulative sums.
+        onehot_w = np.zeros((n, self._n_classes))
+        onehot_w[np.arange(n), node_y] = node_w
+        chunk_size = max(1, int(4_000_000 / max(n * self._n_classes, 1)))
+
         best_gain = 1e-12
         best: tuple[int, float, float] | None = None
-        # Per-class weight matrix for vectorised cumulative sums.
-        onehot_w = np.zeros((index.size, self._n_classes))
-        onehot_w[np.arange(index.size), node_y] = node_w
-
-        for feature in features:
-            column = X[index, feature]
-            order = np.argsort(column, kind="stable")
-            sorted_vals = column[order]
-            # Candidate boundaries: positions where the value changes.
-            boundaries = np.nonzero(np.diff(sorted_vals) > 0)[0]
-            if boundaries.size == 0:
-                continue
+        for start in range(0, features.size, chunk_size):
+            chunk = features[start : start + chunk_size]
+            order, sorted_vals = self._sorted_node_block(X, index, chunk)
+            # (n, f, c) class weights in each column's sorted order.
             cum_w = np.cumsum(onehot_w[order], axis=0)
-            left_class = cum_w[boundaries]
-            total_class = cum_w[-1]
-            right_class = total_class[None, :] - left_class
-            left_weight = left_class.sum(axis=1)
+            left_class = cum_w[:-1]                          # (n-1, f, c)
+            total_class = cum_w[-1]                          # (f, c)
+            right_class = total_class[None, :, :] - left_class
+            left_weight = left_class.sum(axis=2)             # (n-1, f)
             right_weight = node_weight - left_weight
+            valid = np.diff(sorted_vals, axis=0) > 0
             with np.errstate(invalid="ignore", divide="ignore"):
-                gini_left = 1.0 - ((left_class / left_weight[:, None]) ** 2).sum(axis=1)
-                gini_right = 1.0 - ((right_class / right_weight[:, None]) ** 2).sum(axis=1)
+                gini_left = 1.0 - (
+                    (left_class / left_weight[:, :, None]) ** 2
+                ).sum(axis=2)
+                gini_right = 1.0 - (
+                    (right_class / right_weight[:, :, None]) ** 2
+                ).sum(axis=2)
             child_impurity = (
                 left_weight * gini_left + right_weight * gini_right
             ) / node_weight
             gain = node_weight * (parent_impurity - child_impurity)
-            pos = int(np.argmax(gain))
-            if gain[pos] > best_gain:
-                best_gain = float(gain[pos])
-                threshold = 0.5 * (
-                    sorted_vals[boundaries[pos]] + sorted_vals[boundaries[pos] + 1]
-                )
-                best = (int(feature), float(threshold), best_gain)
+            gain = np.where(valid, gain, -np.inf)
+            # Per-feature winners, then a sequential scan in feature
+            # order: ties keep the earliest feature, exactly like the
+            # old per-feature loop.
+            rows = np.argmax(gain, axis=0)
+            cols = np.arange(chunk.size)
+            col_gain = gain[rows, cols]
+            for col in cols:
+                if col_gain[col] > best_gain:
+                    best_gain = float(col_gain[col])
+                    row = rows[col]
+                    threshold = 0.5 * (
+                        sorted_vals[row, col] + sorted_vals[row + 1, col]
+                    )
+                    best = (int(chunk[col]), float(threshold), best_gain)
         return best
 
     def _flatten(self, nodes: list[_Node]) -> None:
@@ -418,6 +453,45 @@ class DecisionTreeClassifier:
             out.append(int(self._feature[node]))
             queue.extend([int(self._left[node]), int(self._right[node])])
         return out
+
+    # ---------------------------------------------------------------- state
+    def to_state(self) -> dict[str, np.ndarray]:
+        """Flat-array snapshot of a fitted tree.
+
+        The snapshot holds everything prediction and importance queries
+        need (node arrays, classes, importances) and nothing else — no
+        live Generator, no builder scratch — so it is cheap to pickle
+        across process boundaries and to persist.  The inverse is
+        :meth:`from_state`; the round trip is exact because every entry
+        is an int64/float64 array.
+        """
+        self._check_fitted()
+        return {
+            "feature": self._feature,
+            "threshold": self._threshold,
+            "left": self._left,
+            "right": self._right,
+            "proba": self._proba,
+            "classes": self.classes_,
+            "importances": self.feature_importances_,
+            "n_features": np.int64(self._n_features),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, np.ndarray]) -> "DecisionTreeClassifier":
+        """Rebuild a fitted tree from a :meth:`to_state` snapshot."""
+        tree = cls()
+        tree.classes_ = np.asarray(state["classes"])
+        tree._n_features = int(state["n_features"])
+        tree._n_classes = tree.classes_.size
+        tree._feature = np.asarray(state["feature"])
+        tree._threshold = np.asarray(state["threshold"])
+        tree._left = np.asarray(state["left"])
+        tree._right = np.asarray(state["right"])
+        tree._proba = np.asarray(state["proba"])
+        tree.feature_importances_ = np.asarray(state["importances"])
+        tree.n_nodes_ = int(tree._feature.size)
+        return tree
 
     def _check_fitted(self) -> None:
         if not hasattr(self, "_proba"):

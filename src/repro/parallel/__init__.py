@@ -1,0 +1,43 @@
+"""repro.parallel — process-parallel execution with shared-memory tensors.
+
+The sweep of paper Table III and the forests it trains are both
+embarrassingly parallel once their randomness is derived instead of
+consumed sequentially; this package supplies the execution layer:
+
+* :mod:`repro.parallel.shm` — numpy arrays in named shared-memory
+  blocks, so worker processes map the feature tensor zero-copy;
+* :mod:`repro.parallel.pool` — worker-count resolution, contiguous
+  chunking, and an ordered chunked map over a process pool;
+* :mod:`repro.parallel.sweep` — the parallel
+  :meth:`~repro.core.experiment.SweepRunner.run` backend;
+* :mod:`repro.parallel.forest` — parallel member-tree fitting and
+  row-parallel prediction for
+  :class:`~repro.ml.forest.RandomForestClassifier`.
+
+The determinism contract (see DESIGN.md): CRC32 cell seeds and
+pre-spawned RNG streams make every result bitwise identical to the
+serial path for any worker count; callers degrade to serial when shared
+memory or process pools are unavailable.
+"""
+
+from repro.parallel.pool import effective_jobs, partition
+from repro.parallel.shm import (
+    SharedArrayBundle,
+    SharedArraySpec,
+    SharedMemoryUnavailable,
+    SharedNDArray,
+    shared_memory_available,
+)
+from repro.parallel.sweep import ParallelExecutionUnavailable, run_sweep_parallel
+
+__all__ = [
+    "effective_jobs",
+    "partition",
+    "SharedArrayBundle",
+    "SharedArraySpec",
+    "SharedNDArray",
+    "SharedMemoryUnavailable",
+    "shared_memory_available",
+    "ParallelExecutionUnavailable",
+    "run_sweep_parallel",
+]

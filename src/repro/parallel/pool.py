@@ -1,0 +1,120 @@
+"""Process-pool plumbing shared by the parallel sweep and forest.
+
+Thin, deterministic conveniences over :class:`concurrent.futures.\
+ProcessPoolExecutor`: resolving a user-facing ``n_jobs`` knob into a
+worker count, cutting a work list into contiguous chunks, and running a
+chunked map that *streams completions* (for progress reporting) while
+*returning results in submission order* (for determinism — callers
+reassemble grid order no matter which worker finished first).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = [
+    "effective_jobs",
+    "partition",
+    "ordered_chunk_map",
+    "flatten",
+    "PoolUnavailable",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class PoolUnavailable(RuntimeError):
+    """Raised when worker processes cannot be started on this host."""
+
+
+def effective_jobs(n_jobs: int | None, n_items: int | None = None) -> int:
+    """Resolve an ``n_jobs`` knob into an actual worker count.
+
+    ``None`` and ``0`` mean "all cores"; negative values count back from
+    the core count (``-1`` = all cores, ``-2`` = all but one, the sklearn
+    convention); positive values are taken literally.  The result is
+    clamped to ``n_items`` when given — more workers than work is waste.
+    """
+    cores = os.cpu_count() or 1
+    if n_jobs is None or n_jobs == 0:
+        jobs = cores
+    elif n_jobs < 0:
+        jobs = cores + 1 + n_jobs
+    else:
+        jobs = n_jobs
+    if n_items is not None:
+        jobs = min(jobs, n_items)
+    return max(1, jobs)
+
+
+def partition(items: Sequence[T], n_chunks: int) -> list[list[T]]:
+    """Cut *items* into at most *n_chunks* contiguous, near-equal chunks.
+
+    Contiguity is what keeps reassembly trivial: concatenating the chunk
+    results in chunk order reproduces item order exactly.
+    """
+    n_items = len(items)
+    if n_items == 0:
+        return []
+    n_chunks = max(1, min(n_chunks, n_items))
+    base, extra = divmod(n_items, n_chunks)
+    chunks: list[list[T]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+def ordered_chunk_map(
+    fn: Callable[[list[T]], R],
+    chunks: list[list[T]],
+    n_jobs: int,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+    on_chunk_done: Callable[[int, int], None] | None = None,
+) -> list[R]:
+    """Run ``fn(chunk)`` for every chunk on a worker pool.
+
+    Results come back **in chunk order** regardless of completion order.
+    *on_chunk_done(done_items, total_items)* fires as chunks complete,
+    in completion order, for progress reporting.  Worker exceptions
+    propagate; failure to even start the pool raises
+    :class:`PoolUnavailable` so callers can fall back to serial.
+    """
+    total_items = sum(len(chunk) for chunk in chunks)
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=n_jobs, initializer=initializer, initargs=initargs
+        )
+    except (OSError, ValueError, PermissionError) as error:
+        raise PoolUnavailable(f"cannot start worker processes: {error}") from error
+    try:
+        with executor:
+            futures = [executor.submit(fn, chunk) for chunk in chunks]
+            if on_chunk_done is not None:
+                pending = set(futures)
+                sizes = {id(f): len(c) for f, c in zip(futures, chunks)}
+                done_items = 0
+                while pending:
+                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        future.result()  # re-raise worker errors eagerly
+                        done_items += sizes[id(future)]
+                    on_chunk_done(done_items, total_items)
+            return [future.result() for future in futures]
+    except BrokenProcessPool as error:
+        raise PoolUnavailable(f"worker pool died: {error}") from error
+
+
+def flatten(chunked: Iterable[list[R]]) -> list[R]:
+    """Concatenate chunk results back into one flat, ordered list."""
+    out: list[R] = []
+    for chunk in chunked:
+        out.extend(chunk)
+    return out

@@ -1,0 +1,131 @@
+"""Process-parallel execution of the (model, t, h, w) sweep.
+
+Every sweep cell is independent by construction: its seed is a CRC32 of
+``(master_seed, model, t, h, w)`` (see
+:meth:`repro.core.experiment.SweepRunner._cell_seed`), so a cell's
+result never depends on which process computes it or in what order.
+That makes the Table III grid embarrassingly parallel — all this module
+adds is the plumbing:
+
+* the feature tensor, daily scores/labels, and targets go into
+  shared-memory blocks (:class:`repro.parallel.shm.SharedArrayBundle`)
+  so workers map them zero-copy instead of unpickling hundreds of MB;
+* a persistent worker pool rebuilds a lightweight
+  :class:`~repro.core.experiment.SweepRunner` over those shared arrays
+  once per worker, then evaluates contiguous chunks of grid cells;
+* results stream back as chunks finish (progress goes to stderr) and
+  are reassembled in exact grid order, so the returned list is
+  row-for-row identical to the serial path's.
+
+When shared memory or worker processes are unavailable the caller
+(:meth:`SweepRunner.run`) degrades to the serial loop.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.parallel.pool import (
+    PoolUnavailable,
+    effective_jobs,
+    flatten,
+    ordered_chunk_map,
+    partition,
+)
+from repro.parallel.shm import (
+    SharedArrayBundle,
+    SharedArraySpec,
+    SharedMemoryUnavailable,
+)
+
+__all__ = ["run_sweep_parallel", "ParallelExecutionUnavailable"]
+
+
+class ParallelExecutionUnavailable(RuntimeError):
+    """Parallel execution cannot run here; use the serial path."""
+
+
+# Worker-process state: the shared-memory bundle (kept referenced so the
+# mappings stay alive) and the runner rebuilt over it.
+_WORKER_BUNDLE: SharedArrayBundle | None = None
+_WORKER_RUNNER = None
+
+
+def _init_sweep_worker(specs: dict[str, SharedArraySpec], payload: dict) -> None:
+    """Pool initializer: attach shared arrays, rebuild the runner."""
+    global _WORKER_BUNDLE, _WORKER_RUNNER
+    from repro.core.experiment import SweepRunner
+
+    _WORKER_BUNDLE = SharedArrayBundle.attach(specs)
+    _WORKER_RUNNER = SweepRunner.from_worker_state(
+        features_values=_WORKER_BUNDLE["features"],
+        score_daily=_WORKER_BUNDLE["score_daily"],
+        labels_daily=_WORKER_BUNDLE["labels_daily"],
+        targets_daily=_WORKER_BUNDLE["targets_daily"],
+        **payload,
+    )
+
+
+def _run_cell_chunk(cells: list[tuple[str, int, int, int]]) -> list:
+    """Evaluate one contiguous chunk of grid cells in the worker."""
+    return [
+        _WORKER_RUNNER.run_cell(model, t_day, horizon, window)
+        for model, t_day, horizon, window in cells
+    ]
+
+
+def run_sweep_parallel(runner, grid, n_jobs: int, progress: bool = False) -> list:
+    """Run *grid* on *runner* across a process pool.
+
+    Returns the same :class:`~repro.core.experiment.ExperimentResult`
+    list, in the same order, as ``runner.run(grid, n_jobs=1)``.  Raises
+    :class:`ParallelExecutionUnavailable` when shared memory or worker
+    processes cannot be set up — the caller falls back to serial.
+    """
+    cells = list(grid.cells())
+    jobs = effective_jobs(n_jobs, len(cells))
+    if jobs == 1:
+        raise ParallelExecutionUnavailable("only one worker resolves; run serially")
+
+    try:
+        bundle = SharedArrayBundle.create(
+            {
+                "features": runner.features.values,
+                "score_daily": runner.score_daily,
+                "labels_daily": runner.labels_daily,
+                "targets_daily": runner.targets_daily,
+            }
+        )
+    except SharedMemoryUnavailable as error:
+        raise ParallelExecutionUnavailable(str(error)) from error
+
+    payload = {
+        "channel_names": list(runner.features.channel_names),
+        "n_extra_channels": runner.features.n_extra_channels,
+        "target": runner.target,
+        "score_config": runner.score_config,
+        "n_estimators": runner.n_estimators,
+        "n_training_days": runner.n_training_days,
+        "seed": runner.seed,
+    }
+
+    def on_chunk_done(done: int, total: int) -> None:
+        if progress:
+            print(f"  sweep progress: {done}/{total}", file=sys.stderr)
+
+    # Several chunks per worker smooth over uneven cell costs (forest
+    # cells dwarf baseline cells) without giving up contiguity.
+    chunks = partition(cells, n_chunks=jobs * 4)
+    with bundle:
+        try:
+            chunk_results = ordered_chunk_map(
+                _run_cell_chunk,
+                chunks,
+                jobs,
+                initializer=_init_sweep_worker,
+                initargs=(bundle.specs(), payload),
+                on_chunk_done=on_chunk_done,
+            )
+        except PoolUnavailable as error:
+            raise ParallelExecutionUnavailable(str(error)) from error
+    return flatten(chunk_results)

@@ -96,29 +96,23 @@ class ModelKey:
 
 
 # --------------------------------------------------------------- tree (de)ser
+# The npz layout predates DecisionTreeClassifier.to_state and must stay
+# byte-compatible with existing registries, so the state keys are mapped
+# onto the archive's "<prefix><key>" names rather than stored wholesale
+# (to_state's scalar n_features entry lives in the model meta instead).
 def _pack_classifier_tree(tree: DecisionTreeClassifier, prefix: str, arrays: dict) -> None:
-    arrays[f"{prefix}feature"] = tree._feature
-    arrays[f"{prefix}threshold"] = tree._threshold
-    arrays[f"{prefix}left"] = tree._left
-    arrays[f"{prefix}right"] = tree._right
-    arrays[f"{prefix}proba"] = tree._proba
-    arrays[f"{prefix}classes"] = tree.classes_
-    arrays[f"{prefix}importances"] = tree.feature_importances_
+    state = tree.to_state()
+    for key in ("feature", "threshold", "left", "right", "proba", "classes", "importances"):
+        arrays[f"{prefix}{key}"] = state[key]
 
 
 def _unpack_classifier_tree(archive, prefix: str, n_features: int) -> DecisionTreeClassifier:
-    tree = DecisionTreeClassifier()
-    tree.classes_ = archive[f"{prefix}classes"]
-    tree._n_features = n_features
-    tree._n_classes = tree.classes_.size
-    tree._feature = archive[f"{prefix}feature"]
-    tree._threshold = archive[f"{prefix}threshold"]
-    tree._left = archive[f"{prefix}left"]
-    tree._right = archive[f"{prefix}right"]
-    tree._proba = archive[f"{prefix}proba"]
-    tree.feature_importances_ = archive[f"{prefix}importances"]
-    tree.n_nodes_ = int(tree._feature.size)
-    return tree
+    state = {
+        key: archive[f"{prefix}{key}"]
+        for key in ("feature", "threshold", "left", "right", "proba", "classes", "importances")
+    }
+    state["n_features"] = n_features
+    return DecisionTreeClassifier.from_state(state)
 
 
 def _pack_regression_tree(tree: RegressionTree, prefix: str, arrays: dict) -> None:
@@ -358,6 +352,7 @@ def train_and_register(
     horizons: tuple[int, ...],
     windows: tuple[int, ...],
     overwrite: bool = False,
+    n_jobs: int | None = 1,
 ) -> list[ModelKey]:
     """Train sweep-cell models and persist them into *registry*.
 
@@ -366,7 +361,9 @@ def train_and_register(
     via :meth:`~repro.core.experiment.SweepRunner.train_cell` and saved
     under ``ModelKey(runner.target, model, horizon, window)``.  Existing
     entries are kept unless *overwrite* is set.  Returns the keys now
-    present for the requested grid.
+    present for the requested grid.  *n_jobs* parallelises the member
+    tree fitting of each forest model across processes; the persisted
+    archives are identical for any value.
     """
     keys: list[ModelKey] = []
     for model_name in model_names:
@@ -374,7 +371,9 @@ def train_and_register(
             for horizon in horizons:
                 key = ModelKey(runner.target, model_name, horizon, window)
                 if overwrite or key not in registry:
-                    model = runner.train_cell(model_name, t_day, horizon, window)
+                    model = runner.train_cell(
+                        model_name, t_day, horizon, window, n_jobs=n_jobs
+                    )
                     registry.save(key, model)
                 keys.append(key)
     return keys

@@ -1,0 +1,199 @@
+"""Parallel-vs-serial determinism: sweep, forest, and shm plumbing.
+
+The contract under test (DESIGN.md): every sweep cell derives its seed
+from CRC32 of (master_seed, model, t, h, w) and every forest member gets
+a pre-spawned child stream, so results are bitwise identical for any
+``n_jobs`` — not merely statistically equivalent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import SweepGrid, SweepRunner
+from repro.ml.forest import RandomForestClassifier
+from repro.parallel import (
+    SharedArrayBundle,
+    SharedMemoryUnavailable,
+    SharedNDArray,
+    effective_jobs,
+    partition,
+    shared_memory_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory on this host"
+)
+
+#: Grid for the determinism sweeps: baselines + both stochastic model
+#: families, two t-days, two horizons.  Small enough to run three times
+#: in a unit test, varied enough to cover every execution path.
+GRID = SweepGrid.small(
+    models=("Random", "Persist", "Tree", "RF-F1"),
+    n_t=2,
+    horizons=(1, 5),
+    windows=(3,),
+    t_min=55,
+    t_max=75,
+)
+
+
+def rows_identical(rows_a: list[dict], rows_b: list[dict]) -> None:
+    assert len(rows_a) == len(rows_b)
+    for a, b in zip(rows_a, rows_b):
+        for key in ("model", "t", "h", "w", "target", "n_sectors", "n_positive"):
+            assert a[key] == b[key], key
+        for key in ("psi", "lift"):
+            if math.isnan(a[key]) and math.isnan(b[key]):
+                continue
+            assert a[key] == b[key], (key, a, b)  # bitwise, not approx
+
+
+class TestParallelSweep:
+    @pytest.fixture(scope="class")
+    def runner(self, scored_dataset):
+        return SweepRunner(scored_dataset, n_estimators=5, seed=3)
+
+    @pytest.fixture(scope="class")
+    def serial_rows(self, runner):
+        return [r.as_row() for r in runner.run(GRID, n_jobs=1)]
+
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_rows_match_serial(self, runner, serial_rows, n_jobs):
+        rows = [r.as_row() for r in runner.run(GRID, n_jobs=n_jobs)]
+        rows_identical(serial_rows, rows)
+
+    def test_order_matches_grid_cells(self, runner, serial_rows):
+        cells = list(GRID.cells())
+        assert len(serial_rows) == len(cells)
+        for row, (model, t_day, horizon, window) in zip(serial_rows, cells):
+            assert (row["model"], row["t"], row["h"], row["w"]) == (
+                model, t_day, horizon, window,
+            )
+
+    def test_falls_back_to_serial_without_shm(self, runner, serial_rows, monkeypatch):
+        """Shared-memory failure degrades to the serial path, same rows."""
+        monkeypatch.setattr(
+            SharedArrayBundle,
+            "create",
+            classmethod(
+                lambda cls, arrays: (_ for _ in ()).throw(
+                    SharedMemoryUnavailable("forced by test")
+                )
+            ),
+        )
+        rows = [r.as_row() for r in runner.run(GRID, n_jobs=2)]
+        rows_identical(serial_rows, rows)
+
+    def test_progress_goes_to_stderr(self, scored_dataset, capsys):
+        runner = SweepRunner(scored_dataset, n_estimators=2, seed=3)
+        grid = SweepGrid.small(
+            models=("Persist",), n_t=5, horizons=tuple(range(1, 12)),
+            windows=(1,), t_min=55, t_max=75,
+        )
+        runner.run(grid, progress=True, n_jobs=1)
+        captured = capsys.readouterr()
+        assert "sweep progress" in captured.err
+        assert captured.out == ""
+
+
+class TestParallelForest:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(42)
+        X = rng.normal(size=(400, 15))
+        y = (X[:, 3] - 0.5 * X[:, 7] + 0.4 * rng.normal(size=400) > 0).astype(np.int64)
+        return X, y
+
+    def test_fit_matches_serial(self, data):
+        X, y = data
+        serial = RandomForestClassifier(n_estimators=8, random_state=9, n_jobs=1)
+        parallel = RandomForestClassifier(n_estimators=8, random_state=9, n_jobs=4)
+        serial.fit(X, y)
+        parallel.fit(X, y)
+        assert np.array_equal(serial.feature_importances_, parallel.feature_importances_)
+        assert np.array_equal(
+            serial.predict_proba(X), parallel.predict_proba(X, n_jobs=1)
+        )
+        for tree_s, tree_p in zip(serial.estimators_, parallel.estimators_):
+            assert np.array_equal(tree_s._feature, tree_p._feature)
+            assert np.array_equal(tree_s._threshold, tree_p._threshold)
+            assert np.array_equal(tree_s._proba, tree_p._proba)
+
+    def test_predict_proba_parallel_matches(self, data):
+        X, y = data
+        forest = RandomForestClassifier(n_estimators=6, random_state=1, n_jobs=1)
+        forest.fit(X, y)
+        assert np.array_equal(
+            forest.predict_proba(X, n_jobs=1), forest.predict_proba(X, n_jobs=4)
+        )
+
+    def test_oob_matches_serial(self, data):
+        X, y = data
+        serial = RandomForestClassifier(
+            n_estimators=8, random_state=2, oob_score=True, n_jobs=1
+        ).fit(X, y)
+        parallel = RandomForestClassifier(
+            n_estimators=8, random_state=2, oob_score=True, n_jobs=2
+        ).fit(X, y)
+        assert np.array_equal(serial.oob_proba_, parallel.oob_proba_, equal_nan=True)
+
+    def test_expand_proba_positions_cached_at_fit(self, data):
+        X, y = data
+        forest = RandomForestClassifier(n_estimators=4, random_state=0).fit(X, y)
+        assert len(forest._class_positions_) == 4
+        # Rebuild the cache lazily when estimators are swapped in (the
+        # registry's load path sets estimators_ directly).
+        del forest._class_positions_
+        proba = forest.predict_proba(X[:10])
+        assert proba.shape == (10, 2)
+        assert len(forest._class_positions_) == 4
+
+
+class TestSharedMemory:
+    def test_roundtrip_exact(self):
+        source = np.arange(24, dtype=np.float64).reshape(2, 3, 4) / 7.0
+        shared = SharedNDArray.create(source)
+        try:
+            attached = SharedNDArray.attach(shared.spec)
+            assert np.array_equal(attached.array, source)
+            assert attached.array.dtype == source.dtype
+            assert not attached.array.flags.writeable
+            attached.close()
+        finally:
+            shared.destroy()
+
+    def test_bundle_specs_and_destroy(self):
+        bundle = SharedArrayBundle.create(
+            {"a": np.ones(3), "b": np.zeros((2, 2), dtype=np.int64)}
+        )
+        specs = bundle.specs()
+        assert set(specs) == {"a", "b"}
+        assert specs["b"].shape == (2, 2)
+        other = SharedArrayBundle.attach(specs)
+        assert np.array_equal(other["a"], np.ones(3))
+        other.destroy()
+        bundle.destroy()
+
+
+class TestPoolHelpers:
+    def test_effective_jobs(self):
+        assert effective_jobs(1) == 1
+        assert effective_jobs(3) == 3
+        assert effective_jobs(None) >= 1
+        assert effective_jobs(0) >= 1
+        assert effective_jobs(-1) >= 1
+        assert effective_jobs(8, n_items=3) == 3
+        assert effective_jobs(2, n_items=0) == 1
+
+    def test_partition_contiguous_and_complete(self):
+        items = list(range(11))
+        chunks = partition(items, 4)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert len(chunks) == 4
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+        assert partition(items, 100) == [[i] for i in items]
+        assert partition([], 3) == []
