@@ -29,10 +29,14 @@ from repro.core.scoring import attach_scores
 from repro.data.store import load_dataset, save_dataset, save_result_table
 from repro.data.tensor import HOURS_PER_DAY
 from repro.imputation import DAEImputer, DAEImputerConfig, filter_sectors
+from repro.resilience import (
+    CheckpointManager,
+    ResilientHotSpotService,
+    ResilientPredictionEngine,
+)
 from repro.serve import (
     HotSpotService,
     ModelRegistry,
-    PredictionEngine,
     ServeConfig,
     StreamIngestor,
     train_and_register,
@@ -183,8 +187,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sys.stderr,
     )
 
-    ingestor = StreamIngestor.for_dataset(dataset, w_max=max(args.window, 7))
-    engine = PredictionEngine(
+    # Recover serving state from a previous run's checkpoint directory,
+    # or start fresh.  The resilient engine/service wrappers are always
+    # in place: malformed ticks quarantine instead of crashing the loop,
+    # and a broken registry degrades instead of raising.
+    ingestor = None
+    start_hour = 0
+    if args.resume:
+        if not args.checkpoint_dir:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            return 1
+        recovered = CheckpointManager.recover(args.checkpoint_dir)
+        if recovered.ingestor is not None:
+            ingestor = recovered.ingestor
+            start_hour = ingestor.hours_seen
+            _info(
+                f"recovered {start_hour} hours from {args.checkpoint_dir} "
+                f"(snapshot at {recovered.snapshot_hour} h + "
+                f"{recovered.replayed} journal ticks)",
+                args.quiet,
+                sys.stderr,
+            )
+    if ingestor is None:
+        ingestor = StreamIngestor.for_dataset(dataset, w_max=max(args.window, 7))
+    engine = ResilientPredictionEngine(
         ingestor, registry, target="hot", model=args.model, window=args.window
     )
     service = HotSpotService(
@@ -196,34 +222,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             alert_threshold=args.alert_threshold,
         ),
     )
+    checkpoint = None
+    if args.checkpoint_dir:
+        checkpoint = CheckpointManager.for_ingestor(
+            args.checkpoint_dir, ingestor, snapshot_every=args.snapshot_every
+        )
+    guarded = ResilientHotSpotService(service, checkpoint=checkpoint)
 
     if args.from_stdin:
         processed = service.run_jsonl(sys.stdin, sys.stdout)
         _info(f"processed {processed} operations", args.quiet, sys.stderr)
+        errors = service.telemetry.counter("stream_errors")
+        if errors:
+            _info(f"{errors} stream errors (see error events)", args.quiet, sys.stderr)
         return 0
 
-    # Replay mode: drive the service with the dataset's own hours.
+    # Replay mode: drive the resilient service with the dataset's hours.
     kpis = dataset.kpis
     end_day = n_days if args.max_days is None else min(args.max_days, n_days)
     alerts = 0
-    for hour in range(end_day * HOURS_PER_DAY):
-        events = service.ingest_hour(
+    for hour in range(start_hour, end_day * HOURS_PER_DAY):
+        events = guarded.submit_tick(
             kpis.values[:, hour, :],
             kpis.missing[:, hour, :],
             dataset.calendar[hour],
+            hour=hour,
         )
         for event in events:
-            if event["type"] == "alert":
+            if event.get("type") == "alert":
                 alerts += 1
             print(json.dumps(event))
-    stats = service.stats()
+    stats = guarded.stats()
     _info(
         f"replayed {end_day} days: {alerts} alerts, "
         f"{stats['counters'].get('cache_hits', 0)} cache hits / "
-        f"{stats['counters'].get('cache_misses', 0)} misses",
+        f"{stats['counters'].get('cache_misses', 0)} misses, "
+        f"{stats['counters'].get('ticks_quarantined', 0)} quarantined, "
+        f"{stats['counters'].get('degraded_predictions', 0)} degraded",
         args.quiet,
         sys.stderr,
     )
+    if checkpoint is not None:
+        checkpoint.close()
     return 0
 
 
@@ -305,6 +345,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="replay at most this many days")
     srv.add_argument("--from-stdin", action="store_true",
                      help="read JSONL operations from stdin instead of replaying")
+    srv.add_argument("--checkpoint-dir", default=None,
+                     help="write-ahead journal + snapshot directory "
+                     "(enables crash recovery)")
+    srv.add_argument("--snapshot-every", type=int, default=168,
+                     help="hours between state snapshots (default: one week)")
+    srv.add_argument("--resume", action="store_true",
+                     help="restore state from --checkpoint-dir and continue "
+                     "the replay from the recovered hour")
     srv.set_defaults(func=_cmd_serve)
     return parser
 
@@ -319,6 +367,11 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Downstream consumer (head, a dead socket) closed our stdout.
         return 0
+    except OSError as error:
+        # Unrecoverable stream/disk errors (a dead event sink, a failing
+        # checkpoint volume) exit cleanly with code 1 — no traceback.
+        print(f"error: unrecoverable stream error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ reassemble grid order no matter which worker finished first).
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -71,6 +72,19 @@ def partition(items: Sequence[T], n_chunks: int) -> list[list[T]]:
     return chunks
 
 
+def _terminate_pool(executor: ProcessPoolExecutor) -> None:
+    """Force a (possibly hung or broken) pool down without blocking."""
+    workers = list(getattr(executor, "_processes", {}).values())
+    for process in workers:
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 - already-dead workers are fine
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in workers:
+        process.join(timeout=5)
+
+
 def ordered_chunk_map(
     fn: Callable[[list[T]], R],
     chunks: list[list[T]],
@@ -78,6 +92,7 @@ def ordered_chunk_map(
     initializer: Callable | None = None,
     initargs: tuple = (),
     on_chunk_done: Callable[[int, int], None] | None = None,
+    chunk_timeout: float | None = None,
 ) -> list[R]:
     """Run ``fn(chunk)`` for every chunk on a worker pool.
 
@@ -86,7 +101,22 @@ def ordered_chunk_map(
     in completion order, for progress reporting.  Worker exceptions
     propagate; failure to even start the pool raises
     :class:`PoolUnavailable` so callers can fall back to serial.
+
+    *chunk_timeout* (seconds, also settable via the
+    ``REPRO_CHUNK_TIMEOUT`` environment variable) is a progress
+    watchdog: if no chunk completes within it, the pool is declared hung.
+    A hung or **died** pool (a worker killed mid-chunk) no longer sinks
+    the whole map — the surviving workers' results are kept, the pool is
+    torn down, and the lost chunks are re-run serially in the calling
+    process (running *initializer* locally first), so the map always
+    returns complete, correctly ordered results instead of hanging or
+    forcing the caller to redo finished work.
     """
+    if chunk_timeout is None:
+        env = os.environ.get("REPRO_CHUNK_TIMEOUT")
+        chunk_timeout = float(env) if env else None
+    if chunk_timeout is not None and chunk_timeout <= 0:
+        raise ValueError(f"chunk_timeout must be > 0, got {chunk_timeout}")
     total_items = sum(len(chunk) for chunk in chunks)
     try:
         executor = ProcessPoolExecutor(
@@ -94,22 +124,60 @@ def ordered_chunk_map(
         )
     except (OSError, ValueError, PermissionError) as error:
         raise PoolUnavailable(f"cannot start worker processes: {error}") from error
+
+    results: dict[int, R] = {}
+    done_items = 0
+    salvage_reason: str | None = None
     try:
-        with executor:
-            futures = [executor.submit(fn, chunk) for chunk in chunks]
-            if on_chunk_done is not None:
-                pending = set(futures)
-                sizes = {id(f): len(c) for f, c in zip(futures, chunks)}
-                done_items = 0
-                while pending:
-                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        future.result()  # re-raise worker errors eagerly
-                        done_items += sizes[id(future)]
-                    on_chunk_done(done_items, total_items)
-            return [future.result() for future in futures]
+        futures = [executor.submit(fn, chunk) for chunk in chunks]
+        index_of = {id(future): i for i, future in enumerate(futures)}
+        pending = set(futures)
+        while pending and salvage_reason is None:
+            finished, pending = wait(
+                pending, timeout=chunk_timeout, return_when=FIRST_COMPLETED
+            )
+            if not finished:
+                salvage_reason = (
+                    f"no chunk completed within {chunk_timeout:.1f}s "
+                    "(hung worker?)"
+                )
+                break
+            for future in finished:
+                index = index_of[id(future)]
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool as error:
+                    salvage_reason = f"worker pool died: {error}"
+                    break
+                done_items += len(chunks[index])
+            if salvage_reason is None and on_chunk_done is not None:
+                on_chunk_done(done_items, total_items)
     except BrokenProcessPool as error:
-        raise PoolUnavailable(f"worker pool died: {error}") from error
+        salvage_reason = f"worker pool died: {error}"
+    finally:
+        if salvage_reason is None:
+            # Success, or a genuine worker exception propagating: cancel
+            # whatever is still queued and reap the pool.
+            executor.shutdown(wait=True, cancel_futures=True)
+        else:
+            _terminate_pool(executor)
+
+    if salvage_reason is not None:
+        lost = [i for i in range(len(chunks)) if i not in results]
+        warnings.warn(
+            f"{salvage_reason}; re-running {len(lost)}/{len(chunks)} lost "
+            "chunk(s) serially in the parent process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        if initializer is not None:
+            initializer(*initargs)
+        for index in lost:
+            results[index] = fn(chunks[index])
+            done_items += len(chunks[index])
+            if on_chunk_done is not None:
+                on_chunk_done(done_items, total_items)
+    return [results[i] for i in range(len(chunks))]
 
 
 def flatten(chunked: Iterable[list[R]]) -> list[R]:

@@ -74,13 +74,19 @@ def _run_cell_chunk(cells: list[tuple[str, int, int, int]]) -> list:
     ]
 
 
-def run_sweep_parallel(runner, grid, n_jobs: int, progress: bool = False) -> list:
+def run_sweep_parallel(
+    runner, grid, n_jobs: int, progress: bool = False,
+    chunk_timeout: float | None = None,
+) -> list:
     """Run *grid* on *runner* across a process pool.
 
     Returns the same :class:`~repro.core.experiment.ExperimentResult`
     list, in the same order, as ``runner.run(grid, n_jobs=1)``.  Raises
     :class:`ParallelExecutionUnavailable` when shared memory or worker
     processes cannot be set up — the caller falls back to serial.
+    *chunk_timeout* (or ``REPRO_CHUNK_TIMEOUT``) bounds how long a hung
+    worker can stall the sweep; lost chunks are recomputed serially by
+    :func:`repro.parallel.pool.ordered_chunk_map`.
     """
     cells = list(grid.cells())
     jobs = effective_jobs(n_jobs, len(cells))
@@ -125,6 +131,7 @@ def run_sweep_parallel(runner, grid, n_jobs: int, progress: bool = False) -> lis
                 initializer=_init_sweep_worker,
                 initargs=(bundle.specs(), payload),
                 on_chunk_done=on_chunk_done,
+                chunk_timeout=chunk_timeout,
             )
         except PoolUnavailable as error:
             raise ParallelExecutionUnavailable(str(error)) from error

@@ -1,0 +1,297 @@
+"""Deterministic fault injection for the resilient serving stack.
+
+Chaos testing here is **replayable**: every fault decision derives from
+``default_rng([seed, hour])``, so a schedule is a pure function of its
+config — two runs with the same seed inject byte-identical faults and
+produce identical event logs.  The harness covers the fault model end to
+end:
+
+* *drop* — the tick for an hour never arrives (the next tick's declared
+  hour runs ahead of the ring clock; the guard gap-fills);
+* *duplicate* — the tick is delivered twice (second is reconciled);
+* *reorder* — two adjacent ticks swap (first gap-fills one hour, the
+  late one quarantines);
+* *corrupt* — the payload is damaged (wrong shape, inf-flooded values,
+  or garbage calendar; all quarantine);
+* *dark sector* — one sector's KPIs go fully missing for a span of
+  hours (the dark tracker must mask its alerts);
+* *registry failure* — model loads raise at scheduled hours (the
+  engine must degrade, then recover).
+
+:func:`run_chaos_replay` drives a
+:class:`~repro.resilience.guard.ResilientHotSpotService` through a
+faulted dataset replay and returns a :class:`ChaosReport` pairing the
+injected-fault ledger with the observed events — the contract checked by
+tests and ``benchmarks/bench_chaos_replay.py`` is *no unhandled
+exceptions, every fault evented, no alerts from dark sectors*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.resilience.guard import ResilientHotSpotService
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["ChaosConfig", "FlakyRegistry", "ChaosReport", "chaos_stream", "run_chaos_replay"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault schedule knobs (all probabilities are per-hour).
+
+    At most one stream fault (drop/duplicate/reorder/corrupt) fires per
+    hour, chosen by a deterministic per-hour draw.
+    """
+
+    seed: int = 0
+    p_drop: float = 0.0
+    p_duplicate: float = 0.0
+    p_reorder: float = 0.0
+    p_corrupt: float = 0.0
+    #: Sector forced fully missing over ``dark_span`` (None disables).
+    dark_sector: int | None = None
+    #: Hour interval ``[lo, hi)`` for the forced dark sector.
+    dark_span: tuple[int, int] = (0, 0)
+    #: Hours at which the model registry starts failing loads.
+    registry_fail_hours: tuple[int, ...] = ()
+    #: Consecutive loads that fail per scheduled registry fault.
+    registry_fail_count: int = 1
+
+    def __post_init__(self) -> None:
+        total = self.p_drop + self.p_duplicate + self.p_reorder + self.p_corrupt
+        if total > 1.0:
+            raise ValueError(f"fault probabilities sum to {total} > 1")
+        for name in ("p_drop", "p_duplicate", "p_reorder", "p_corrupt"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+class FlakyRegistry:
+    """Registry proxy whose loads fail on demand.
+
+    Wraps a real :class:`~repro.serve.registry.ModelRegistry`;
+    :meth:`fail_next` arms the next *n* ``get``/``load`` calls to raise
+    :class:`OSError`, simulating registry I/O faults.  Everything else
+    delegates.
+    """
+
+    def __init__(self, inner: ModelRegistry) -> None:
+        self.inner = inner
+        self._fail_remaining = 0
+        self.failures_injected = 0
+
+    def fail_next(self, count: int = 1) -> None:
+        self._fail_remaining += count
+
+    def _maybe_fail(self) -> None:
+        if self._fail_remaining > 0:
+            self._fail_remaining -= 1
+            self.failures_injected += 1
+            raise OSError("injected registry I/O failure (chaos)")
+
+    def get(self, key):
+        self._maybe_fail()
+        return self.inner.get(key)
+
+    def load(self, key):
+        self._maybe_fail()
+        return self.inner.load(key)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def __contains__(self, key) -> bool:
+        return key in self.inner
+
+
+def _hour_rng(seed: int, hour: int) -> np.random.Generator:
+    return np.random.default_rng([seed, hour])
+
+
+def _corrupt(
+    rng: np.random.Generator,
+    values: np.ndarray,
+    missing: np.ndarray,
+    calendar: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, str]:
+    """Damage one payload; returns (values, missing, calendar, kind)."""
+    kind = ("shape", "inf_flood", "calendar")[int(rng.integers(3))]
+    if kind == "shape":
+        return values[:-1], missing[:-1], calendar, kind
+    if kind == "inf_flood":
+        flooded = values.copy()
+        flooded[rng.random(flooded.shape) < 0.75] = np.inf
+        return flooded, missing, calendar, kind
+    return values, missing, np.full(calendar.shape, np.nan), kind
+
+
+def chaos_stream(
+    dataset: Dataset,
+    config: ChaosConfig,
+    start_hour: int = 0,
+    end_hour: int | None = None,
+) -> Iterator[tuple[dict, dict | None]]:
+    """Yield ``(envelope, fault)`` pairs for a faulted dataset replay.
+
+    Each envelope is ``{"hour", "values", "missing", "calendar"}`` as
+    the wire would deliver it; ``fault`` describes the injected fault
+    (``None`` for clean ticks).  Dropped hours yield a fault entry with
+    no envelope (``envelope is None``) so callers can ledger them.
+    """
+    kpis = dataset.kpis
+    end = kpis.n_hours if end_hour is None else min(end_hour, kpis.n_hours)
+    thresholds = np.cumsum(
+        [config.p_drop, config.p_duplicate, config.p_reorder, config.p_corrupt]
+    )
+    hour = start_hour
+    while hour < end:
+        values = kpis.values[:, hour, :].copy()
+        missing = kpis.missing[:, hour, :].copy()
+        calendar = np.asarray(dataset.calendar[hour], dtype=np.float64).copy()
+        if (
+            config.dark_sector is not None
+            and config.dark_span[0] <= hour < config.dark_span[1]
+        ):
+            values[config.dark_sector] = np.nan
+            missing[config.dark_sector] = True
+        envelope = {
+            "hour": hour, "values": values, "missing": missing,
+            "calendar": calendar,
+        }
+        rng = _hour_rng(config.seed, hour)
+        draw = rng.random()
+        if draw < thresholds[0]:
+            yield None, {"hour": hour, "fault": "drop"}
+            hour += 1
+            continue
+        if draw < thresholds[1]:
+            yield envelope, {"hour": hour, "fault": "duplicate"}
+            yield dict(envelope), None  # the duplicate delivery itself
+            hour += 1
+            continue
+        if draw < thresholds[2] and hour + 1 < end:
+            later_values = kpis.values[:, hour + 1, :].copy()
+            later_missing = kpis.missing[:, hour + 1, :].copy()
+            later = {
+                "hour": hour + 1,
+                "values": later_values,
+                "missing": later_missing,
+                "calendar": np.asarray(
+                    dataset.calendar[hour + 1], dtype=np.float64
+                ).copy(),
+            }
+            yield later, {"hour": hour, "fault": "reorder"}
+            yield envelope, None  # the displaced (now late) tick
+            hour += 2
+            continue
+        if draw < thresholds[3]:
+            bad_values, bad_missing, bad_calendar, kind = _corrupt(
+                rng, values, missing, calendar
+            )
+            yield (
+                {
+                    "hour": hour, "values": bad_values, "missing": bad_missing,
+                    "calendar": bad_calendar,
+                },
+                {"hour": hour, "fault": "corrupt", "kind": kind},
+            )
+            hour += 1
+            continue
+        yield envelope, None
+        hour += 1
+
+
+@dataclass
+class ChaosReport:
+    """Ledger of a chaos replay: what was injected, what was observed."""
+
+    injected: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    unhandled: list[str] = field(default_factory=list)
+    ticks_submitted: int = 0
+    alerts: int = 0
+
+    @property
+    def injected_by_fault(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for fault in self.injected:
+            counts[fault["fault"]] = counts.get(fault["fault"], 0) + 1
+        return counts
+
+    def events_of(self, kind: str) -> list[dict]:
+        return [event for event in self.events if event.get("event") == kind]
+
+    def summary(self) -> dict:
+        return {
+            "ticks_submitted": self.ticks_submitted,
+            "alerts": self.alerts,
+            "injected": self.injected_by_fault,
+            "events": {
+                kind: len(self.events_of(kind))
+                for kind in (
+                    "quarantine", "gap_fill", "duplicate", "sector_dark",
+                    "alert_suppressed", "degraded", "recovered",
+                )
+            },
+            "unhandled_exceptions": len(self.unhandled),
+        }
+
+
+def run_chaos_replay(
+    dataset: Dataset,
+    service: ResilientHotSpotService,
+    config: ChaosConfig,
+    start_hour: int = 0,
+    end_hour: int | None = None,
+    flaky_registry: FlakyRegistry | None = None,
+) -> ChaosReport:
+    """Drive *service* through a faulted replay of *dataset*.
+
+    Registry faults are armed on *flaky_registry* (which must be the
+    registry the service's engine actually uses) at the configured
+    hours.  Every exception escaping ``submit_tick`` is recorded in
+    ``report.unhandled`` — the resilience contract is that this list is
+    empty for any schedule.
+    """
+    report = ChaosReport()
+    fail_hours = set(config.registry_fail_hours)
+    telemetry = service.telemetry
+    for envelope, fault in chaos_stream(dataset, config, start_hour, end_hour):
+        if fault is not None:
+            report.injected.append(fault)
+        if envelope is None:
+            continue  # dropped tick: nothing arrives
+        if flaky_registry is not None and envelope["hour"] in fail_hours:
+            flaky_registry.fail_next(config.registry_fail_count)
+            fail_hours.discard(envelope["hour"])
+        report.ticks_submitted += 1
+        seen_before = telemetry.events_seen
+        try:
+            events = service.submit_tick(
+                envelope["values"],
+                envelope["missing"],
+                envelope["calendar"],
+                hour=envelope["hour"],
+            )
+        except Exception as error:  # noqa: BLE001 - the ledger, not the crash
+            report.unhandled.append(f"hour {envelope['hour']}: "
+                                    f"{type(error).__name__}: {error}")
+            continue
+        # Engine-level events (degraded/recovered) reach the telemetry
+        # log but are not returned by submit_tick; fold the fresh tail
+        # in, skipping records submit_tick already returned.
+        buffered = telemetry.events()
+        delta = telemetry.events_seen - seen_before
+        fresh = buffered[len(buffered) - delta:] if delta else []
+        returned = {id(event) for event in events}
+        events = events + [e for e in fresh if id(e) not in returned]
+        for event in events:
+            if event.get("type") == "alert":
+                report.alerts += 1
+            report.events.append(event)
+    return report

@@ -1,0 +1,419 @@
+"""Write-ahead journal and atomic snapshots for the serving state.
+
+Crash-recovery contract: a service killed at *any* tick and restored
+from its checkpoint directory replays to a state **bitwise-equal** to an
+uninterrupted run.  Two pieces make that hold:
+
+* every *accepted* tick (including synthesised gap-fill hours) is
+  appended to a CRC-guarded binary write-ahead log **before** it enters
+  the ingestor, so no acknowledged hour can be lost;
+* periodically the full :class:`~repro.serve.ingest.StreamIngestor`
+  state (:meth:`state_dict` — rings, cumulative sums, histories, clock)
+  is written to an ``.npz`` snapshot via a temp file and
+  :func:`os.replace`, so a snapshot is either complete or absent, never
+  torn.
+
+Recovery loads the newest readable snapshot, then replays journal
+records with ``hour >= snapshot.hours_seen`` through the ordinary
+:meth:`ingest_hour` path.  Because the snapshot restores every float
+accumulator exactly and replay applies the identical operations in the
+identical order, the recovered state matches the uninterrupted one bit
+for bit (asserted in ``tests/test_resilience_checkpoint.py``).
+
+Journal format (little-endian)::
+
+    header   magic b"RWAL0001" | uint32 n_sectors | uint32 n_kpis
+    record   uint64 hour | uint32 payload_len | payload | uint32 crc32(payload)
+    payload  values float64[n*l] | missing uint8[n*l] | calendar float64[5]
+
+A torn tail record (crash mid-append) fails its length or CRC check and
+replay stops cleanly there — exactly the at-most-one-unacknowledged-tick
+loss a write-ahead design permits.  Snapshots supersede journal
+segments: at snapshot time the journal rotates to a fresh segment and
+fully-covered segments are pruned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+from typing import IO, Iterator
+
+import numpy as np
+
+from repro.serve.ingest import StreamIngestor
+
+__all__ = ["TickJournal", "CheckpointManager", "RecoveredState"]
+
+_MAGIC = b"RWAL0001"
+_HEADER = struct.Struct("<II")
+_RECORD_HEAD = struct.Struct("<QI")
+_CRC = struct.Struct("<I")
+_CALENDAR_WIDTH = 5
+
+
+class TickJournal:
+    """Append-only write-ahead log of accepted hourly ticks.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with header) if absent, validated and
+        opened for append if present.
+    n_sectors, n_kpis:
+        Payload shape baked into the header.
+    sync:
+        When True every append is fsync'd (crash-durable at the cost of
+        one disk sync per tick); the default flushes to the OS only.
+    """
+
+    def __init__(
+        self, path: str | Path, n_sectors: int, n_kpis: int, sync: bool = False
+    ) -> None:
+        self.path = Path(path)
+        self.n_sectors = int(n_sectors)
+        self.n_kpis = int(n_kpis)
+        self.sync = sync
+        self._payload_len = (
+            8 * self.n_sectors * self.n_kpis  # values float64
+            + self.n_sectors * self.n_kpis  # missing uint8
+            + 8 * _CALENDAR_WIDTH  # calendar float64
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._handle: IO[bytes] = open(self.path, "ab")
+        if fresh:
+            self._handle.write(_MAGIC + _HEADER.pack(self.n_sectors, self.n_kpis))
+            self._flush()
+        else:
+            with open(self.path, "rb") as readable:
+                self._check_header(readable)
+        self.appended = 0
+
+    def _check_header(self, handle: IO[bytes]) -> None:
+        head = handle.read(len(_MAGIC) + _HEADER.size)
+        if len(head) < len(_MAGIC) + _HEADER.size or head[: len(_MAGIC)] != _MAGIC:
+            raise ValueError(f"'{self.path}' is not a tick journal")
+        n, l = _HEADER.unpack(head[len(_MAGIC):])
+        if (n, l) != (self.n_sectors, self.n_kpis):
+            raise ValueError(
+                f"journal '{self.path}' is for ({n} sectors, {l} KPIs), "
+                f"expected ({self.n_sectors}, {self.n_kpis})"
+            )
+
+    def _flush(self) -> None:
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+
+    def append(
+        self,
+        hour: int,
+        values: np.ndarray,
+        missing: np.ndarray,
+        calendar_row: np.ndarray,
+    ) -> None:
+        """Durably record one accepted tick."""
+        payload = (
+            np.ascontiguousarray(values, dtype=np.float64).tobytes()
+            + np.ascontiguousarray(missing, dtype=np.uint8).tobytes()
+            + np.ascontiguousarray(calendar_row, dtype=np.float64).tobytes()
+        )
+        if len(payload) != self._payload_len:
+            raise ValueError(
+                f"payload is {len(payload)} bytes, journal expects {self._payload_len}"
+            )
+        self._handle.write(_RECORD_HEAD.pack(hour, len(payload)))
+        self._handle.write(payload)
+        self._handle.write(_CRC.pack(zlib.crc32(payload)))
+        self._flush()
+        self.appended += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._flush()
+            self._handle.close()
+
+    def __enter__(self) -> "TickJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- replay
+    @classmethod
+    def read_records(
+        cls, path: str | Path
+    ) -> Iterator[tuple[int, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``(hour, values, missing, calendar)`` per intact record.
+
+        Stops silently at the first truncated or CRC-failing record (the
+        torn tail of a crashed writer); earlier records are unaffected.
+        """
+        path = Path(path)
+        with open(path, "rb") as handle:
+            head = handle.read(len(_MAGIC) + _HEADER.size)
+            if len(head) < len(_MAGIC) + _HEADER.size or head[: len(_MAGIC)] != _MAGIC:
+                raise ValueError(f"'{path}' is not a tick journal")
+            n, l = _HEADER.unpack(head[len(_MAGIC):])
+            while True:
+                record_head = handle.read(_RECORD_HEAD.size)
+                if len(record_head) < _RECORD_HEAD.size:
+                    return  # clean EOF or torn header
+                hour, payload_len = _RECORD_HEAD.unpack(record_head)
+                payload = handle.read(payload_len)
+                crc_bytes = handle.read(_CRC.size)
+                if len(payload) < payload_len or len(crc_bytes) < _CRC.size:
+                    return  # torn record: crash mid-append
+                if zlib.crc32(payload) != _CRC.unpack(crc_bytes)[0]:
+                    return  # corrupted tail
+                values = np.frombuffer(payload, dtype=np.float64, count=n * l)
+                offset = 8 * n * l
+                missing = np.frombuffer(
+                    payload, dtype=np.uint8, count=n * l, offset=offset
+                )
+                calendar = np.frombuffer(
+                    payload, dtype=np.float64, count=_CALENDAR_WIDTH,
+                    offset=offset + n * l,
+                )
+                yield (
+                    int(hour),
+                    values.reshape(n, l).copy(),
+                    missing.reshape(n, l).astype(bool),
+                    calendar.copy(),
+                )
+
+
+class RecoveredState:
+    """Result of :meth:`CheckpointManager.recover`."""
+
+    def __init__(
+        self, ingestor: StreamIngestor | None, snapshot_hour: int, replayed: int
+    ) -> None:
+        #: The restored ingestor (None when the directory held nothing).
+        self.ingestor = ingestor
+        #: ``hours_seen`` of the snapshot the recovery started from (0 =
+        #: no snapshot, journal-only replay).
+        self.snapshot_hour = snapshot_hour
+        #: Journal records replayed on top of the snapshot.
+        self.replayed = replayed
+
+
+class CheckpointManager:
+    """Own a checkpoint directory: journal segments plus snapshots.
+
+    Layout::
+
+        <directory>/wal-<start_hour:08d>.log      journal segments
+        <directory>/snapshot-<hours:08d>.npz      atomic state snapshots
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint root (created if needed).
+    n_sectors, n_kpis:
+        Payload shape for the journal.
+    snapshot_every:
+        Snapshot cadence in accepted hours (default one week).
+    keep_snapshots:
+        Snapshots retained; older ones are pruned after each snapshot.
+    sync:
+        Passed to :class:`TickJournal`.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        n_sectors: int,
+        n_kpis: int,
+        snapshot_every: int = 168,
+        keep_snapshots: int = 2,
+        sync: bool = False,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        if keep_snapshots < 1:
+            raise ValueError(f"keep_snapshots must be >= 1, got {keep_snapshots}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.n_sectors = int(n_sectors)
+        self.n_kpis = int(n_kpis)
+        self.snapshot_every = snapshot_every
+        self.keep_snapshots = keep_snapshots
+        self.sync = sync
+        self.snapshots_written = 0
+        self._last_snapshot_hour = self._newest_snapshot_hour()
+        start = max(self._last_snapshot_hour, self._newest_segment_start())
+        self._journal = TickJournal(
+            self._segment_path(start), self.n_sectors, self.n_kpis, sync=sync
+        )
+
+    @classmethod
+    def for_ingestor(
+        cls, directory: str | Path, ingestor: StreamIngestor, **kwargs
+    ) -> "CheckpointManager":
+        return cls(directory, ingestor.n_sectors, ingestor.n_kpis, **kwargs)
+
+    # ------------------------------------------------------------- paths
+    def _segment_path(self, start_hour: int) -> Path:
+        return self.directory / f"wal-{start_hour:08d}.log"
+
+    def _snapshot_path(self, hours_seen: int) -> Path:
+        return self.directory / f"snapshot-{hours_seen:08d}.npz"
+
+    def _snapshot_files(self) -> list[Path]:
+        return sorted(self.directory.glob("snapshot-*.npz"))
+
+    def _segment_files(self) -> list[Path]:
+        return sorted(self.directory.glob("wal-*.log"))
+
+    def _newest_snapshot_hour(self) -> int:
+        files = self._snapshot_files()
+        return int(files[-1].stem.split("-")[1]) if files else 0
+
+    def _newest_segment_start(self) -> int:
+        files = self._segment_files()
+        return int(files[-1].stem.split("-")[1]) if files else 0
+
+    # ------------------------------------------------------------ journal
+    def record_tick(
+        self,
+        hour: int,
+        values: np.ndarray,
+        missing: np.ndarray,
+        calendar_row: np.ndarray,
+    ) -> None:
+        """Journal one accepted tick (call *before* ingesting it)."""
+        self._journal.append(hour, values, missing, calendar_row)
+
+    # ----------------------------------------------------------- snapshot
+    def snapshot(self, ingestor: StreamIngestor) -> Path:
+        """Atomically snapshot *ingestor*, rotate and prune the journal."""
+        state = ingestor.state_dict()
+        path = self._snapshot_path(ingestor.hours_seen)
+        meta_blob = np.frombuffer(
+            json.dumps(state["meta"]).encode("utf-8"), dtype=np.uint8
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, meta_json=meta_blob, **state["arrays"])
+                if self.sync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.snapshots_written += 1
+        self._last_snapshot_hour = ingestor.hours_seen
+        self._rotate_journal(ingestor.hours_seen)
+        self._prune()
+        return path
+
+    def maybe_snapshot(self, ingestor: StreamIngestor) -> Path | None:
+        """Snapshot when ``snapshot_every`` hours accrued since the last."""
+        if ingestor.hours_seen - self._last_snapshot_hour >= self.snapshot_every:
+            return self.snapshot(ingestor)
+        return None
+
+    def _rotate_journal(self, start_hour: int) -> None:
+        self._journal.close()
+        self._journal = TickJournal(
+            self._segment_path(start_hour), self.n_sectors, self.n_kpis,
+            sync=self.sync,
+        )
+
+    def _prune(self) -> None:
+        snapshots = self._snapshot_files()
+        for stale in snapshots[: -self.keep_snapshots]:
+            stale.unlink(missing_ok=True)
+        # A segment starting before the oldest *retained* snapshot is
+        # fully superseded by it (segments rotate exactly at snapshots).
+        kept = self._snapshot_files()
+        if kept:
+            oldest_kept_hour = int(kept[0].stem.split("-")[1])
+            for segment in self._segment_files():
+                start = int(segment.stem.split("-")[1])
+                if start < oldest_kept_hour and segment != self._journal.path:
+                    segment.unlink(missing_ok=True)
+
+    def close(self) -> None:
+        self._journal.close()
+
+    def __enter__(self) -> "CheckpointManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        return {
+            "snapshots_written": self.snapshots_written,
+            "last_snapshot_hour": self._last_snapshot_hour,
+            "journal_appends": self._journal.appended,
+            "snapshot_every": self.snapshot_every,
+        }
+
+    # ----------------------------------------------------------- recovery
+    @classmethod
+    def recover(cls, directory: str | Path) -> RecoveredState:
+        """Rebuild the ingestor recorded under *directory*.
+
+        Loads the newest readable snapshot (corrupt ones are skipped,
+        falling back to older snapshots and ultimately to journal-only
+        replay from an empty ingestor), then replays every journal
+        record with ``hour >= snapshot.hours_seen`` in hour order.
+        """
+        directory = Path(directory)
+        ingestor: StreamIngestor | None = None
+        snapshot_hour = 0
+        for path in sorted(directory.glob("snapshot-*.npz"), reverse=True):
+            try:
+                with np.load(path) as archive:
+                    meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+                    arrays = {
+                        name: archive[name]
+                        for name in archive.files
+                        if name != "meta_json"
+                    }
+                ingestor = StreamIngestor.from_state(
+                    {"meta": meta, "arrays": arrays}
+                )
+                snapshot_hour = ingestor.hours_seen
+                break
+            except Exception:  # noqa: BLE001 - skip torn/corrupt snapshots
+                continue
+
+        records: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        for segment in sorted(directory.glob("wal-*.log")):
+            try:
+                records.extend(TickJournal.read_records(segment))
+            except ValueError:
+                continue  # foreign or headerless file
+        records.sort(key=lambda record: record[0])
+
+        replayed = 0
+        for hour, values, missing, calendar in records:
+            if ingestor is None:
+                # Journal-only recovery: derive the shape from the first
+                # record; calendar anchors default (rows are journaled).
+                ingestor = StreamIngestor(
+                    n_sectors=values.shape[0], n_kpis=values.shape[1]
+                )
+            if hour < ingestor.hours_seen:
+                continue  # superseded by the snapshot
+            if hour > ingestor.hours_seen:
+                break  # gap in the journal: nothing after it is replayable
+            ingestor.ingest_hour(values, missing, calendar)
+            replayed += 1
+        return RecoveredState(ingestor, snapshot_hour, replayed)

@@ -1,0 +1,164 @@
+"""Degraded-mode forecasting: fallback chain, backoff, auto-recovery.
+
+A long-running service must answer ``predict`` even when its model is
+gone — registry file deleted, archive corrupted, refresh raising.
+:class:`ResilientPredictionEngine` extends the plain
+:class:`~repro.serve.engine.PredictionEngine` with a **degradation
+ladder** evaluated when the primary model fails:
+
+1. *cached last forecast* — the most recent successful scores for the
+   same ``(model, horizon, window)``; stale by a refresh or two but
+   model-shaped;
+2. *Persist baseline* — today's daily labels (the paper's strongest
+   trivial baseline, computable from ring state alone);
+3. *Random ranking* — seeded chance-level scores, the forecast of last
+   resort.
+
+Every degraded answer emits a structured ``degraded`` telemetry event
+and bumps ``degraded_predictions``; degraded scores are **never cached**
+(the `_compute_entry` seam returns ``cacheable=False``) so recovery is
+automatic.  Registry retries follow exponential backoff — after the
+``n``-th consecutive failure the registry is left alone for
+``min(2**(n-1), max_backoff)`` fallback-served calls — and the first
+successful reload emits a ``recovered`` event and resets the ladder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import PersistModel
+from repro.serve.engine import PredictionEngine
+from repro.serve.ingest import StreamIngestor
+from repro.serve.registry import ModelRegistry
+from repro.serve.telemetry import ServeTelemetry
+
+__all__ = ["ResilientPredictionEngine"]
+
+
+class ResilientPredictionEngine(PredictionEngine):
+    """A :class:`PredictionEngine` that degrades instead of raising.
+
+    Parameters
+    ----------
+    ingestor, registry, target, model, window, telemetry:
+        As for :class:`~repro.serve.engine.PredictionEngine`.
+    max_backoff:
+        Ceiling on the number of fallback-served calls between registry
+        retries for a failing key.
+    fallback_seed:
+        Seed for the Random forecast of last resort (deterministic so
+        chaos replays are reproducible).
+    """
+
+    def __init__(
+        self,
+        ingestor: StreamIngestor,
+        registry: ModelRegistry,
+        target: str = "hot",
+        model: str = "RF-F1",
+        window: int = 7,
+        telemetry: ServeTelemetry | None = None,
+        max_backoff: int = 8,
+        fallback_seed: int = 0,
+    ) -> None:
+        super().__init__(
+            ingestor, registry, target=target, model=model, window=window,
+            telemetry=telemetry,
+        )
+        if max_backoff < 1:
+            raise ValueError(f"max_backoff must be >= 1, got {max_backoff}")
+        self.max_backoff = max_backoff
+        self.fallback_seed = fallback_seed
+        self._persist = PersistModel()
+        # (model, horizon, window) -> last successfully computed scores.
+        self._last_good: dict[tuple[str, int, int], np.ndarray] = {}
+        # (model, horizon, window) -> consecutive primary failures.
+        self._failures: dict[tuple[str, int, int], int] = {}
+        # (model, horizon, window) -> fallback calls left before retry.
+        self._suppress: dict[tuple[str, int, int], int] = {}
+
+    # --------------------------------------------------------- degradation
+    def _compute_entry(
+        self, model_name: str, t_day: int, horizon: int, window: int
+    ) -> tuple[np.ndarray, bool]:
+        key = (model_name, horizon, window)
+        if self._suppress.get(key, 0) > 0:
+            # Still backing off: serve a fallback without touching the
+            # registry at all.
+            self._suppress[key] -= 1
+            self.telemetry.inc("degraded_retries_suppressed")
+            return self._fallback(key, t_day, horizon, window, "backoff"), False
+        try:
+            scores = self._compute(model_name, t_day, horizon, window)
+        except Exception as error:  # noqa: BLE001 - any primary failure degrades
+            failures = self._failures.get(key, 0) + 1
+            self._failures[key] = failures
+            self._suppress[key] = min(2 ** (failures - 1), self.max_backoff)
+            reason = f"{type(error).__name__}: {error}"
+            return self._fallback(key, t_day, horizon, window, reason), False
+        if self._failures.pop(key, 0):
+            self._suppress.pop(key, None)
+            self.telemetry.event(
+                "recovered", model=model_name, horizon=horizon, window=window,
+                t_day=t_day,
+            )
+        self._last_good[key] = scores
+        return scores, True
+
+    def _fallback(
+        self,
+        key: tuple[str, int, int],
+        t_day: int,
+        horizon: int,
+        window: int,
+        reason: str,
+    ) -> np.ndarray:
+        model_name = key[0]
+        cached = self._last_good.get(key)
+        if cached is not None:
+            scores, level = cached.copy(), "last_forecast"
+        else:
+            try:
+                scores = np.asarray(
+                    self._persist.forecast(
+                        self.ingestor.score_daily,
+                        self.ingestor.labels_daily,
+                        t_day,
+                        horizon,
+                        window,
+                    ),
+                    dtype=np.float64,
+                )
+                level = "persist"
+            except Exception:  # noqa: BLE001 - last resort must not raise
+                rng = np.random.default_rng([self.fallback_seed, t_day, horizon])
+                scores = rng.random(self.ingestor.n_sectors)
+                level = "random"
+        self.telemetry.inc("degraded_predictions")
+        self.telemetry.event(
+            "degraded",
+            model=model_name,
+            horizon=horizon,
+            window=window,
+            t_day=t_day,
+            fallback=level,
+            reason=reason,
+            consecutive_failures=self._failures.get(key, 0),
+        )
+        return scores
+
+    # --------------------------------------------------------------- stats
+    @property
+    def degraded_keys(self) -> list[tuple[str, int, int]]:
+        """Keys currently in a failure/backoff state."""
+        return sorted(self._failures)
+
+    def stats(self) -> dict:
+        snapshot = super().stats()
+        snapshot["degraded"] = {
+            "failing_keys": len(self._failures),
+            "last_good_entries": len(self._last_good),
+            "max_backoff": self.max_backoff,
+        }
+        return snapshot

@@ -1,0 +1,235 @@
+"""The fault-tolerant serving front: validate → journal → ingest → mask.
+
+:class:`ResilientHotSpotService` wraps a plain
+:class:`~repro.serve.service.HotSpotService` with the full resilience
+pipeline.  Every incoming tick passes through:
+
+1. **validation** (:class:`~repro.resilience.validate.TickValidator`) —
+   malformed ticks land in the bounded dead-letter queue with a
+   structured reason; idempotent duplicates are reconciled (dropped,
+   counted); forward clock gaps within budget are filled with synthetic
+   all-missing hours so lost hours read as darkness, not corruption;
+2. **journaling** (:class:`~repro.resilience.checkpoint
+   .CheckpointManager`, optional) — accepted ticks (gap fills included)
+   hit the write-ahead log *before* the ingestor, and periodic atomic
+   snapshots bound replay time after a crash;
+3. **ingest + alerting** — the wrapped service runs as usual (with a
+   :class:`~repro.resilience.degrade.ResilientPredictionEngine` the
+   forecast path degrades instead of raising);
+4. **dark-sector masking** — sectors whose fully-missing run exceeds
+   the Sec. II-C threshold are stripped from alert events until they
+   report again; an alert emptied this way is replaced by an
+   ``alert_suppressed`` event.
+
+Resilience events (quarantine, gap_fill, duplicate, sector_dark,
+alert_suppressed, degraded, recovered) flow through the shared
+:class:`~repro.serve.telemetry.ServeTelemetry` event log and are also
+returned inline with the tick's events, so drivers can stream them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.validate import (
+    ACCEPT,
+    QUARANTINE,
+    RECONCILE,
+    DarkSectorTracker,
+    DeadLetterQueue,
+    TickValidator,
+)
+from repro.serve.service import HotSpotService
+from repro.serve.telemetry import ServeTelemetry
+
+__all__ = ["ResilientHotSpotService"]
+
+
+class ResilientHotSpotService:
+    """Fault-tolerant wrapper around a :class:`HotSpotService`.
+
+    Parameters
+    ----------
+    service:
+        The wrapped alerting service (its engine supplies the ingestor,
+        telemetry, and forecast path).
+    validator:
+        Tick validator; defaults to one shaped for the ingestor.
+    dead_letters:
+        Quarantine queue; defaults to a 256-record ring.
+    dark_tracker:
+        Dark-sector run tracker; defaults to the half-week threshold.
+    checkpoint:
+        Optional checkpoint manager.  When given, every accepted tick is
+        journaled before ingest and snapshots are taken on its cadence.
+    """
+
+    def __init__(
+        self,
+        service: HotSpotService,
+        validator: TickValidator | None = None,
+        dead_letters: DeadLetterQueue | None = None,
+        dark_tracker: DarkSectorTracker | None = None,
+        checkpoint: CheckpointManager | None = None,
+    ) -> None:
+        self.service = service
+        self.engine = service.engine
+        ingestor = self.engine.ingestor
+        self.validator = validator or TickValidator.for_ingestor(ingestor)
+        if (self.validator.n_sectors, self.validator.n_kpis) != (
+            ingestor.n_sectors, ingestor.n_kpis
+        ):
+            raise ValueError(
+                f"validator is shaped ({self.validator.n_sectors}, "
+                f"{self.validator.n_kpis}), ingestor ({ingestor.n_sectors}, "
+                f"{ingestor.n_kpis})"
+            )
+        self.dead_letters = dead_letters or DeadLetterQueue()
+        self.dark = dark_tracker or DarkSectorTracker(ingestor.n_sectors)
+        self.checkpoint = checkpoint
+
+    @property
+    def telemetry(self) -> ServeTelemetry:
+        return self.service.telemetry
+
+    @property
+    def ingestor(self):
+        return self.engine.ingestor
+
+    # -------------------------------------------------------------- ticks
+    def submit_tick(
+        self,
+        values,
+        missing=None,
+        calendar_row=None,
+        hour: int | None = None,
+    ) -> list[dict]:
+        """Validate and (maybe) ingest one tick; returns all events.
+
+        Never raises on bad input: malformed/late/conflicting ticks are
+        quarantined, idempotent duplicates reconciled, short forward
+        gaps filled with all-missing hours.  Returned events mix the
+        wrapped service's day/alert events with resilience events.
+        """
+        verdict = self.validator.validate(
+            values,
+            missing,
+            calendar_row,
+            hour=hour,
+            clock=self.ingestor.hours_seen,
+            ring_payload=self._ring_payload,
+        )
+        if verdict.action == QUARANTINE:
+            self.telemetry.inc("ticks_quarantined")
+            record = self.dead_letters.push(
+                verdict.reason, hour=verdict.declared_hour, detail=verdict.detail
+            )
+            return [self.telemetry.event("quarantine", **record)]
+        if verdict.action == RECONCILE:
+            self.telemetry.inc("ticks_reconciled")
+            return [
+                self.telemetry.event(
+                    "duplicate", hour=verdict.declared_hour, detail=verdict.detail
+                )
+            ]
+        assert verdict.action == ACCEPT
+        events: list[dict] = []
+        for _ in range(verdict.gap_hours):
+            events.extend(self._ingest_gap_hour())
+        events.extend(
+            self._ingest(verdict.values, verdict.missing, verdict.calendar_row)
+        )
+        if self.checkpoint is not None:
+            self.checkpoint.maybe_snapshot(self.ingestor)
+        return events
+
+    def _ingest_gap_hour(self) -> list[dict]:
+        """Synthesise one all-missing hour for a lost tick."""
+        ingestor = self.ingestor
+        hour = ingestor.hours_seen
+        values = np.full((ingestor.n_sectors, ingestor.n_kpis), np.nan)
+        missing = np.ones_like(values, dtype=bool)
+        calendar = ingestor._default_calendar_row(hour)
+        self.telemetry.inc("ticks_gap_filled")
+        events = [self.telemetry.event("gap_fill", hour=hour)]
+        events.extend(self._ingest(values, missing, calendar))
+        return events
+
+    def _ingest(
+        self, values: np.ndarray, missing: np.ndarray, calendar_row
+    ) -> list[dict]:
+        ingestor = self.ingestor
+        hour = ingestor.hours_seen
+        journal_calendar = (
+            ingestor._default_calendar_row(hour)
+            if calendar_row is None
+            else calendar_row
+        )
+        if self.checkpoint is not None:
+            self.checkpoint.record_tick(hour, values, missing, journal_calendar)
+        events = self.service.ingest_hour(values, missing, calendar_row)
+        newly_dark = self.dark.observe(missing)
+        dark_events = [
+            self.telemetry.event(
+                "sector_dark", sector=int(sector), hour=hour,
+                missing_run=self.dark.missing_run(int(sector)),
+            )
+            for sector in newly_dark
+        ]
+        return dark_events + self._mask_dark_alerts(events)
+
+    def _ring_payload(self, hour: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """Ring contents for *hour*, for duplicate reconciliation."""
+        ingestor = self.ingestor
+        if not 0 <= hour < ingestor.hours_seen:
+            return None
+        if hour < ingestor.hours_seen - ingestor.capacity:
+            return None  # evicted: cannot prove idempotency
+        slot = hour % ingestor.capacity
+        return ingestor.values[:, slot, :], ingestor.missing[:, slot, :]
+
+    # ----------------------------------------------------------- alerting
+    def _mask_dark_alerts(self, events: list[dict]) -> list[dict]:
+        """Strip dark sectors out of alert events (never alert on them)."""
+        dark = self.dark.dark_mask
+        if not dark.any():
+            return events
+        out: list[dict] = []
+        for event in events:
+            if event.get("type") != "alert":
+                out.append(event)
+                continue
+            keep = [i for i, s in enumerate(event["sectors"]) if not dark[s]]
+            removed = len(event["sectors"]) - len(keep)
+            if removed:
+                self.telemetry.inc("alert_sectors_suppressed_dark", removed)
+            if not keep:
+                out.append(
+                    self.telemetry.event(
+                        "alert_suppressed",
+                        t_day=event["t_day"],
+                        horizon=event["horizon"],
+                        reason="all alerted sectors are dark",
+                    )
+                )
+                continue
+            if removed:
+                event = {
+                    **event,
+                    "sectors": [event["sectors"][i] for i in keep],
+                    "scores": [event["scores"][i] for i in keep],
+                }
+            out.append(event)
+        return out
+
+    # -------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        snapshot = self.service.stats()
+        snapshot["resilience"] = {
+            "dead_letters": self.dead_letters.stats(),
+            "dark_sectors": self.dark.stats(),
+        }
+        if self.checkpoint is not None:
+            snapshot["resilience"]["checkpoint"] = self.checkpoint.stats()
+        return snapshot

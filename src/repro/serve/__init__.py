@@ -17,7 +17,12 @@ forecasting service:
 
 from repro.serve.engine import PredictionEngine
 from repro.serve.ingest import IngestTick, StreamIngestor
-from repro.serve.registry import ModelKey, ModelRegistry, train_and_register
+from repro.serve.registry import (
+    ModelKey,
+    ModelRegistry,
+    RegistryCorruptError,
+    train_and_register,
+)
 from repro.serve.service import HotSpotService, ServeConfig
 from repro.serve.telemetry import LatencyHistogram, ServeTelemetry
 
@@ -28,6 +33,7 @@ __all__ = [
     "ModelKey",
     "ModelRegistry",
     "PredictionEngine",
+    "RegistryCorruptError",
     "ServeConfig",
     "ServeTelemetry",
     "StreamIngestor",

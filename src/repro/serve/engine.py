@@ -119,14 +119,28 @@ class PredictionEngine:
         if scores is None:
             self.telemetry.inc("cache_misses")
             with self.telemetry.timer("predict_seconds"):
-                scores = self._compute(model_name, t_day, horizon, window)
-            self._cache[cache_key] = scores
+                scores, cacheable = self._compute_entry(
+                    model_name, t_day, horizon, window
+                )
+            if cacheable:
+                self._cache[cache_key] = scores
         else:
             self.telemetry.inc("cache_hits")
         self.telemetry.inc("predictions_served")
         if sector_ids is not None:
             return scores[np.asarray(sector_ids)].copy()
         return scores.copy()
+
+    def _compute_entry(
+        self, model_name: str, t_day: int, horizon: int, window: int
+    ) -> tuple[np.ndarray, bool]:
+        """Compute a forecast plus a *cacheable* flag.
+
+        The flag is the seam the resilience layer overrides: a degraded
+        (fallback) forecast returns ``False`` so it is served but never
+        cached, and the registry is re-consulted on the next refresh.
+        """
+        return self._compute(model_name, t_day, horizon, window), True
 
     def _compute(
         self, model_name: str, t_day: int, horizon: int, window: int

@@ -93,6 +93,15 @@ class _History:
         """Read-only-by-convention view of the appended columns."""
         return self._data[:, : self.n_cols]
 
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "_History":
+        """A history whose appended columns equal *matrix* exactly."""
+        history = cls(matrix.shape[0], dtype=matrix.dtype,
+                      capacity=max(64, matrix.shape[1]))
+        history._data[:, : matrix.shape[1]] = matrix
+        history.n_cols = matrix.shape[1]
+        return history
+
 
 class StreamIngestor:
     """Hourly ingestion with per-sector rolling KPI state.
@@ -422,3 +431,94 @@ class StreamIngestor:
             self.trail_weekly[:, slots],
             self.trail_label[:, slots],
         )
+
+    # ------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Complete snapshot of the ingestor's mutable state.
+
+        The returned mapping has two entries: ``"meta"`` (JSON-able
+        construction parameters and the hour clock) and ``"arrays"``
+        (copies of every numpy buffer, including ring slots beyond
+        ``hours_seen``).  :meth:`from_state` rebuilds an ingestor that
+        continues *bitwise-identically* to this one — the basis of the
+        :mod:`repro.resilience.checkpoint` crash-recovery contract.
+        """
+        meta = {
+            "hours_seen": self.hours_seen,
+            "w_max": self.w_max,
+            "capacity": self.capacity,
+            "start_weekday": self.start_weekday,
+            "start_hour": self.start_hour,
+            "start_day_of_month": self.start_day_of_month,
+            "weights": list(self.config.weights),
+            "thresholds": list(self.config.thresholds),
+            "hotspot_threshold": self.config.hotspot_threshold,
+        }
+        arrays = {
+            "values": self.values.copy(),
+            "missing": self.missing.copy(),
+            "calendar": self.calendar.copy(),
+            "score_hourly": self.score_hourly.copy(),
+            "labels_hourly": self.labels_hourly.copy(),
+            "trail_daily": self.trail_daily.copy(),
+            "trail_weekly": self.trail_weekly.copy(),
+            "trail_label": self.trail_label.copy(),
+            "cumsum": self._cumsum.copy(),
+            "running_total": self._running_total.copy(),
+            "day_scores": self._day_scores.copy(),
+            "week_scores": self._week_scores.copy(),
+            "score_daily": self._score_daily.view.copy(),
+            "labels_daily": self._labels_daily.view.copy(),
+            "score_weekly": self._score_weekly.view.copy(),
+            "labels_weekly": self._labels_weekly.view.copy(),
+        }
+        return {"meta": meta, "arrays": arrays}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamIngestor":
+        """Rebuild an ingestor from a :meth:`state_dict` snapshot."""
+        meta, arrays = state["meta"], state["arrays"]
+        config = ScoreConfig(
+            weights=tuple(float(w) for w in meta["weights"]),
+            thresholds=tuple(float(t) for t in meta["thresholds"]),
+            hotspot_threshold=float(meta["hotspot_threshold"]),
+        )
+        ingestor = cls(
+            n_sectors=int(arrays["values"].shape[0]),
+            n_kpis=int(arrays["values"].shape[2]),
+            score_config=config,
+            w_max=int(meta["w_max"]),
+            capacity_hours=int(meta["capacity"]),
+            start_weekday=int(meta["start_weekday"]),
+            start_hour=int(meta["start_hour"]),
+            start_day_of_month=int(meta["start_day_of_month"]),
+        )
+        for attr, key in (
+            ("values", "values"),
+            ("missing", "missing"),
+            ("calendar", "calendar"),
+            ("score_hourly", "score_hourly"),
+            ("labels_hourly", "labels_hourly"),
+            ("trail_daily", "trail_daily"),
+            ("trail_weekly", "trail_weekly"),
+            ("trail_label", "trail_label"),
+            ("_cumsum", "cumsum"),
+            ("_running_total", "running_total"),
+            ("_day_scores", "day_scores"),
+            ("_week_scores", "week_scores"),
+        ):
+            getattr(ingestor, attr)[...] = arrays[key]
+        ingestor._score_daily = _History.from_matrix(
+            np.asarray(arrays["score_daily"], dtype=np.float64)
+        )
+        ingestor._labels_daily = _History.from_matrix(
+            np.asarray(arrays["labels_daily"], dtype=np.int8)
+        )
+        ingestor._score_weekly = _History.from_matrix(
+            np.asarray(arrays["score_weekly"], dtype=np.float64)
+        )
+        ingestor._labels_weekly = _History.from_matrix(
+            np.asarray(arrays["labels_weekly"], dtype=np.int8)
+        )
+        ingestor.hours_seen = int(meta["hours_seen"])
+        return ingestor

@@ -17,6 +17,10 @@ statistics for the telemetry layer.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import warnings
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -36,7 +40,16 @@ from repro.ml.forest import RandomForestClassifier
 from repro.ml.regression_tree import RegressionTree
 from repro.ml.tree import DecisionTreeClassifier
 
-__all__ = ["ModelKey", "ModelRegistry", "train_and_register"]
+__all__ = ["ModelKey", "ModelRegistry", "RegistryCorruptError", "train_and_register"]
+
+
+class RegistryCorruptError(RuntimeError):
+    """A registry archive exists but cannot be deserialised.
+
+    Distinct from :class:`FileNotFoundError` (model never registered) so
+    the degraded-mode engine can treat both as "model unavailable" while
+    operators see the true cause in the event log.
+    """
 
 _BASELINE_FACTORIES = {
     "Random": lambda seed: RandomModel(random_state=seed),
@@ -282,33 +295,77 @@ class ModelRegistry:
         out = []
         for path in sorted(self.root.glob("*.npz")):
             try:
-                out.append(ModelKey.from_filename(path.name))
+                key = ModelKey.from_filename(path.name)
             except (ValueError, TypeError):
                 continue  # foreign npz file in the registry directory
+            if not zipfile.is_zipfile(path):
+                warnings.warn(
+                    f"skipping corrupt registry entry '{path}' (not a valid npz "
+                    "archive); re-register the model to repair it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            out.append(key)
         return out
 
     # ----------------------------------------------------------------- io
     def save(self, key: ModelKey, model) -> Path:
-        """Persist *model* under *key* and warm the cache with it."""
+        """Persist *model* under *key* and warm the cache with it.
+
+        The archive is written to a temporary file in the registry
+        directory and :func:`os.replace`\\ d into place, so a crash
+        mid-save never leaves a torn ``.npz`` under a valid key — readers
+        see either the old entry or the new one, atomically.
+        """
         meta, arrays = _dump_model(model)
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         meta_blob = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-        np.savez_compressed(path, meta_json=meta_blob, **arrays)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, meta_json=meta_blob, **arrays)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         self.saves += 1
         self._remember(key, model)
         return path
 
     def load(self, key: ModelKey):
-        """Deserialise *key* straight from disk (no cache interaction)."""
+        """Deserialise *key* straight from disk (no cache interaction).
+
+        Raises :class:`FileNotFoundError` when the key was never
+        registered and :class:`RegistryCorruptError` when an archive
+        exists but cannot be parsed back into a model.
+        """
         path = self.path_for(key)
         if not path.exists():
             raise FileNotFoundError(
                 f"no registered model for {key} at '{path}'; train and save it first"
             )
-        with np.load(path) as archive:
-            meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
-            return _load_model(meta, archive)
+        try:
+            with np.load(path) as archive:
+                meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+                return _load_model(meta, archive)
+        except (
+            zipfile.BadZipFile,
+            ValueError,  # includes json.JSONDecodeError and npz parse errors
+            KeyError,
+            EOFError,
+            UnicodeDecodeError,
+            TypeError,
+        ) as error:
+            raise RegistryCorruptError(
+                f"corrupt registry entry for {key} at '{path}': {error}"
+            ) from error
 
     def get(self, key: ModelKey):
         """The model for *key*: warm if cached, lazily loaded otherwise."""

@@ -146,26 +146,70 @@ class HotSpotService:
         * ``{"op": "stats"}`` — emits a ``"stats"`` snapshot event.
         * ``{"op": "stop"}`` — terminates the loop.
 
-        Malformed lines and failed operations emit ``"error"`` events
-        and the loop keeps running (a serving process must not die on
-        one bad payload).  Returns the number of processed operations.
+        Malformed lines and failed operations emit structured
+        ``{"event": "error", ...}`` objects (with the offending line
+        number, operation, and a machine-readable ``reason``) and the
+        loop keeps running — a serving process must not die on one bad
+        payload.  Only output-stream failures (:class:`OSError` from the
+        event sink) propagate: with the emit channel gone the service
+        cannot report anything, so the error is unrecoverable and the
+        CLI turns it into exit code 1.  Returns the number of processed
+        operations.
         """
         processed = 0
-        for line in lines:
+        for line_no, line in enumerate(lines, start=1):
             line = line.strip()
             if not line:
                 continue
             processed += 1
             try:
-                request = json.loads(line)
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as error:
+                    self._emit_error(out, line_no, None, "malformed_json", error)
+                    continue
+                if not isinstance(request, dict):
+                    self._emit_error(
+                        out, line_no, None, "not_an_object",
+                        TypeError(f"expected a JSON object, got {type(request).__name__}"),
+                    )
+                    continue
                 op = request.get("op")
                 if op == "stop":
                     self._emit(out, {"type": "stopped", "processed": processed})
                     break
-                self._handle(out, request, op)
+                if op == "tick" or op == "predict" or op == "stats":
+                    self._handle(out, request, op)
+                else:
+                    self._emit_error(
+                        out, line_no, op, "unknown_op",
+                        ValueError(f"unknown op {op!r}"),
+                    )
+            except OSError:
+                # The event sink itself failed; nothing can be reported
+                # downstream, so let the caller decide (CLI: exit 1).
+                raise
             except Exception as error:  # noqa: BLE001 - service must survive bad input
-                self._emit(out, {"type": "error", "message": str(error)})
+                op = request.get("op") if isinstance(request, dict) else None
+                self._emit_error(out, line_no, op, "operation_failed", error)
         return processed
+
+    def _emit_error(
+        self, out: IO[str], line_no: int, op: str | None, reason: str, error: Exception
+    ) -> None:
+        self.telemetry.inc("stream_errors")
+        self._emit(
+            out,
+            {
+                "event": "error",
+                "type": "error",
+                "line": line_no,
+                "op": op,
+                "reason": reason,
+                "error": type(error).__name__,
+                "message": str(error),
+            },
+        )
 
     def _handle(self, out: IO[str], request: dict, op: str | None) -> None:
         if op == "tick":
@@ -195,8 +239,6 @@ class HotSpotService:
             )
         elif op == "stats":
             self._emit(out, {"type": "stats", **self.stats()})
-        else:
-            self._emit(out, {"type": "error", "message": f"unknown op {op!r}"})
 
     @staticmethod
     def _emit(out: IO[str], event: dict) -> None:

@@ -10,11 +10,18 @@ memory stays constant no matter how long the service runs.
 Everything is exposed through :meth:`ServeTelemetry.stats`, a plain
 nested-dict snapshot that later observability layers (JSON endpoints,
 log shippers) can serialise directly.
+
+The resilience layer (PR 3) adds a third primitive: a bounded
+**structured event log**.  Quarantines, gap fills, degradations, and
+recoveries are recorded as plain dicts (``{"event": kind, ...}``) in a
+fixed-capacity ring, with a per-kind counter (``events_<kind>``) so the
+totals survive after old events rotate out.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -102,9 +109,13 @@ class ServeTelemetry:
     without pre-registration.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_events: int = 256) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
         self._counters: dict[str, int] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
+        self._events: deque[dict] = deque(maxlen=max_events)
+        self.events_seen = 0
 
     # ------------------------------------------------------------- counters
     def inc(self, name: str, amount: int = 1) -> int:
@@ -137,6 +148,27 @@ class ServeTelemetry:
         finally:
             self.observe(name, time.perf_counter() - start)
 
+    # -------------------------------------------------------------- events
+    def event(self, kind: str, **fields) -> dict:
+        """Record a structured event; returns the stored record.
+
+        The record is ``{"event": kind, **fields}`` — JSON-serialisable
+        by construction as long as the caller passes plain values.  The
+        per-kind counter ``events_<kind>`` is bumped alongside, so event
+        totals remain exact even after the bounded log rotates.
+        """
+        record = {"event": kind, **fields}
+        self._events.append(record)
+        self.events_seen += 1
+        self.inc(f"events_{kind}")
+        return record
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        """Buffered events, newest last, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [record for record in self._events if record["event"] == kind]
+
     # ------------------------------------------------------------- snapshot
     def stats(self) -> dict:
         """Plain-dict snapshot of every counter and histogram summary."""
@@ -145,5 +177,9 @@ class ServeTelemetry:
             "latency": {
                 name: histogram.summary()
                 for name, histogram in self._histograms.items()
+            },
+            "events": {
+                "seen": self.events_seen,
+                "buffered": len(self._events),
             },
         }

@@ -9,6 +9,8 @@ a pre-spawned child stream, so results are bitwise identical for any
 from __future__ import annotations
 
 import math
+import os
+import time
 
 import numpy as np
 import pytest
@@ -23,6 +25,7 @@ from repro.parallel import (
     partition,
     shared_memory_available,
 )
+from repro.parallel.pool import ordered_chunk_map
 
 pytestmark = pytest.mark.skipif(
     not shared_memory_available(), reason="no shared memory on this host"
@@ -177,6 +180,68 @@ class TestSharedMemory:
         assert np.array_equal(other["a"], np.ones(3))
         other.destroy()
         bundle.destroy()
+
+
+# Salvage-test work functions must be importable by worker processes, so
+# they live at module level.  The initializer hands workers the parent's
+# PID: hazards only fire in child processes, which keeps the parent-side
+# serial re-run (the salvage path under test) well behaved.
+_PARENT_PID: int | None = None
+
+
+def _set_parent_pid(pid: int) -> None:
+    global _PARENT_PID
+    _PARENT_PID = pid
+
+
+def _chunk_with_hazards(chunk):
+    in_worker = os.getpid() != _PARENT_PID
+    out = []
+    for item in chunk:
+        if item == "hang" and in_worker:
+            time.sleep(120)
+        if item == "die" and in_worker:
+            os._exit(1)
+        out.append(f"ok-{item}")
+    return out
+
+
+def _raise_on_x(chunk):
+    if chunk == ["x"]:
+        raise ValueError("boom")
+    return chunk
+
+
+class TestPoolSalvage:
+    def test_hung_worker_salvaged_serially(self):
+        chunks = [["a"], ["hang"], ["b"], ["c"]]
+        with pytest.warns(RuntimeWarning, match="hung worker"):
+            results = ordered_chunk_map(
+                _chunk_with_hazards, chunks, n_jobs=2,
+                initializer=_set_parent_pid, initargs=(os.getpid(),),
+                chunk_timeout=1.5,
+            )
+        assert results == [["ok-a"], ["ok-hang"], ["ok-b"], ["ok-c"]]
+
+    def test_dead_worker_salvaged_serially(self):
+        chunks = [["a"], ["die"], ["b"]]
+        with pytest.warns(RuntimeWarning, match="worker pool died"):
+            results = ordered_chunk_map(
+                _chunk_with_hazards, chunks, n_jobs=2,
+                initializer=_set_parent_pid, initargs=(os.getpid(),),
+            )
+        assert results == [["ok-a"], ["ok-die"], ["ok-b"]]
+
+    def test_worker_exception_still_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            ordered_chunk_map(_raise_on_x, [["a"], ["x"]], n_jobs=2)
+
+    def test_chunk_timeout_validation(self, monkeypatch):
+        with pytest.raises(ValueError, match="chunk_timeout"):
+            ordered_chunk_map(_raise_on_x, [["a"]], 1, chunk_timeout=0)
+        monkeypatch.setenv("REPRO_CHUNK_TIMEOUT", "-3")
+        with pytest.raises(ValueError, match="chunk_timeout"):
+            ordered_chunk_map(_raise_on_x, [["a"]], 1)
 
 
 class TestPoolHelpers:

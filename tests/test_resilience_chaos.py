@@ -1,0 +1,218 @@
+"""Fault-injection: the resilience contract under a chaos schedule.
+
+Acceptance contract (ISSUE/DESIGN): a fixed-seed chaos schedule with a
+meaningful fraction of bad/dropped/duplicated ticks plus a registry
+failure completes with **zero unhandled exceptions**, emits a
+quarantine/reconcile/degradation event for **every** injected fault, and
+**never** alerts on a dark sector.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import SweepRunner
+from repro.resilience import (
+    ChaosConfig,
+    DarkSectorTracker,
+    FlakyRegistry,
+    ResilientHotSpotService,
+    ResilientPredictionEngine,
+    chaos_stream,
+    run_chaos_replay,
+)
+from repro.serve import (
+    HotSpotService,
+    ModelKey,
+    ModelRegistry,
+    ServeConfig,
+    StreamIngestor,
+    train_and_register,
+)
+from repro.serve.telemetry import ServeTelemetry
+
+WINDOW = 7
+END_HOUR = 480  # 20 days of faulted replay
+CHAOS = ChaosConfig(
+    seed=7,
+    p_drop=0.03,
+    p_duplicate=0.03,
+    p_corrupt=0.03,
+    dark_sector=2,
+    dark_span=(240, END_HOUR),
+    registry_fail_hours=(251, 252),
+)
+
+
+@pytest.fixture(scope="module")
+def registry_root(scored_dataset, tmp_path_factory):
+    runner = SweepRunner(
+        scored_dataset, target="hot", n_estimators=3, n_training_days=3, seed=21
+    )
+    registry = ModelRegistry(tmp_path_factory.mktemp("chaos-registry"))
+    train_and_register(runner, registry, ("Average",), 100, (1,), (WINDOW,))
+    return registry.root
+
+
+def make_guard(dataset, registry_root, dark_threshold=24):
+    ingestor = StreamIngestor.for_dataset(dataset, w_max=WINDOW)
+    flaky = FlakyRegistry(ModelRegistry(registry_root))
+    engine = ResilientPredictionEngine(
+        ingestor, flaky, model="Average", window=WINDOW,
+        telemetry=ServeTelemetry(max_events=8192),
+    )
+    service = HotSpotService(
+        engine,
+        ServeConfig(horizons=(1,), start_day=8, top_k=ingestor.n_sectors),
+    )
+    guard = ResilientHotSpotService(
+        service,
+        dark_tracker=DarkSectorTracker(
+            ingestor.n_sectors, threshold_hours=dark_threshold
+        ),
+    )
+    return guard, flaky
+
+
+@pytest.fixture(scope="module")
+def chaos_run(scored_dataset, registry_root):
+    guard, flaky = make_guard(scored_dataset, registry_root)
+    report = run_chaos_replay(
+        scored_dataset, guard, CHAOS, end_hour=END_HOUR, flaky_registry=flaky
+    )
+    return guard, flaky, report
+
+
+class TestChaosContract:
+    def test_schedule_is_meaningful(self, chaos_run):
+        _, _, report = chaos_run
+        injected = report.injected_by_fault
+        # The acceptance bar: at least 5 % of the stream is faulted.
+        assert sum(injected.values()) >= 0.05 * END_HOUR
+        assert injected["drop"] >= 1
+        assert injected["duplicate"] >= 1
+        assert injected["corrupt"] >= 1
+
+    def test_zero_unhandled_exceptions(self, chaos_run):
+        _, _, report = chaos_run
+        assert report.unhandled == []
+
+    def test_every_lost_hour_is_gap_filled(self, chaos_run):
+        guard, _, report = chaos_run
+        # Dropped and quarantined-at-arrival hours never reach the ring;
+        # the next accepted tick back-fills them as all-missing hours.
+        lost = {
+            f["hour"] for f in report.injected if f["fault"] in ("drop", "corrupt")
+        }
+        last_accepted = max(h for h in range(END_HOUR) if h not in lost)
+        expected = sum(1 for h in lost if h < last_accepted)
+        gap_fills = report.events_of("gap_fill")
+        assert len(gap_fills) == expected
+        assert {e["hour"] for e in gap_fills} == {h for h in lost if h < last_accepted}
+        assert guard.ingestor.hours_seen == last_accepted + 1
+
+    def test_every_corrupt_tick_is_quarantined(self, chaos_run):
+        guard, _, report = chaos_run
+        corrupts = [f for f in report.injected if f["fault"] == "corrupt"]
+        quarantines = report.events_of("quarantine")
+        assert len(quarantines) == len(corrupts)
+        assert {e["hour"] for e in quarantines} == {f["hour"] for f in corrupts}
+        kind_to_reason = {
+            "shape": "shape", "inf_flood": "bad_value_budget", "calendar": "calendar",
+        }
+        by_hour = {e["hour"]: e["reason"] for e in quarantines}
+        for fault in corrupts:
+            assert by_hour[fault["hour"]] == kind_to_reason[fault["kind"]]
+        assert guard.dead_letters.total == len(corrupts)
+
+    def test_every_duplicate_is_reconciled(self, chaos_run):
+        guard, _, report = chaos_run
+        duplicates = [f for f in report.injected if f["fault"] == "duplicate"]
+        reconciled = report.events_of("duplicate")
+        assert len(reconciled) == len(duplicates)
+        assert {e["hour"] for e in reconciled} == {f["hour"] for f in duplicates}
+        assert guard.telemetry.counter("ticks_reconciled") == len(duplicates)
+
+    def test_registry_failure_degrades_then_recovers(self, chaos_run):
+        _, flaky, report = chaos_run
+        assert flaky.failures_injected >= 1
+        degraded = report.events_of("degraded")
+        assert len(degraded) >= flaky.failures_injected
+        assert report.events_of("recovered")  # the registry heals
+
+    def test_dark_sector_never_alerts(self, chaos_run):
+        _, _, report = chaos_run
+        dark_events = [
+            e for e in report.events_of("sector_dark")
+            if e["sector"] == CHAOS.dark_sector
+        ]
+        assert len(dark_events) == 1
+        cut = report.events.index(dark_events[0])
+        before = [e for e in report.events[:cut] if e.get("type") == "alert"]
+        after = [e for e in report.events[cut:] if e.get("type") == "alert"]
+        # top_k covers the whole network, so the sector alerted while
+        # healthy and is masked out the moment it goes dark.
+        assert any(CHAOS.dark_sector in e["sectors"] for e in before)
+        assert after
+        assert all(CHAOS.dark_sector not in e["sectors"] for e in after)
+
+    def test_replay_is_deterministic(self, scored_dataset, registry_root, chaos_run):
+        _, _, first = chaos_run
+        guard, flaky = make_guard(scored_dataset, registry_root)
+        second = run_chaos_replay(
+            scored_dataset, guard, CHAOS, end_hour=END_HOUR, flaky_registry=flaky
+        )
+        assert second.injected == first.injected
+        assert second.events == first.events
+        assert second.summary() == first.summary()
+
+
+class TestReorder:
+    def test_reordered_pairs_gap_fill_then_quarantine(
+        self, scored_dataset, registry_root
+    ):
+        guard, flaky = make_guard(scored_dataset, registry_root)
+        config = ChaosConfig(seed=11, p_reorder=0.08)
+        report = run_chaos_replay(
+            scored_dataset, guard, config, end_hour=240, flaky_registry=flaky
+        )
+        reorders = [f for f in report.injected if f["fault"] == "reorder"]
+        assert reorders and report.unhandled == []
+        # The early-arriving tick gap-fills the displaced hour; the
+        # displaced tick then conflicts with its own gap fill.
+        gap_fills = report.events_of("gap_fill")
+        quarantines = report.events_of("quarantine")
+        assert {e["hour"] for e in gap_fills} == {f["hour"] for f in reorders}
+        assert len(quarantines) == len(reorders)
+        assert {e["reason"] for e in quarantines} == {"conflicting_duplicate"}
+        assert guard.ingestor.hours_seen == 240  # no hour is ultimately lost
+
+
+class TestChaosPlumbing:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="sum"):
+            ChaosConfig(p_drop=0.6, p_corrupt=0.6)
+        with pytest.raises(ValueError, match=">= 0"):
+            ChaosConfig(p_drop=-0.1)
+
+    def test_flaky_registry_arms_and_heals(self, registry_root):
+        flaky = FlakyRegistry(ModelRegistry(registry_root))
+        key = ModelKey("hot", "Average", 1, WINDOW)
+        flaky.fail_next(2)
+        with pytest.raises(OSError, match="injected"):
+            flaky.get(key)
+        with pytest.raises(OSError, match="injected"):
+            flaky.load(key)
+        assert flaky.get(key) is not None  # healed
+        assert flaky.failures_injected == 2
+        assert key in flaky  # delegation
+        assert flaky.stats()["warm_models"] >= 1
+
+    def test_clean_stream_matches_dataset(self, scored_dataset):
+        pairs = list(
+            chaos_stream(scored_dataset, ChaosConfig(seed=1), end_hour=48)
+        )
+        assert len(pairs) == 48
+        assert all(fault is None for _, fault in pairs)
+        hours = [envelope["hour"] for envelope, _ in pairs]
+        assert hours == list(range(48))

@@ -1,0 +1,290 @@
+"""WAL journal + snapshot crash recovery: the bitwise-parity contract.
+
+The headline assertion (DESIGN.md 3d): a serving process killed at *any*
+tick and recovered from its checkpoint directory replays to a state
+bitwise-equal to an uninterrupted run — same ring buffers, same float
+accumulators, same feature windows, same forecasts.  Kill points cover
+mid-day, mid-week, and both sides of a snapshot boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.tensor import HOURS_PER_DAY
+from repro.resilience import CheckpointManager, ResilientHotSpotService, TickJournal
+from repro.serve import (
+    HotSpotService,
+    ModelRegistry,
+    PredictionEngine,
+    ServeConfig,
+    StreamIngestor,
+)
+
+WINDOW = 7
+SNAPSHOT_EVERY = 48
+TOTAL_HOURS = 14 * HOURS_PER_DAY  # two weeks of replay
+
+
+def feed(dataset, ingestor, checkpoint, lo_hour, hi_hour):
+    """Replay dataset hours [lo, hi) through the WAL-then-ingest path."""
+    kpis = dataset.kpis
+    for hour in range(lo_hour, hi_hour):
+        values = kpis.values[:, hour, :]
+        missing = kpis.missing[:, hour, :]
+        calendar = dataset.calendar[hour]
+        if checkpoint is not None:
+            checkpoint.record_tick(hour, values, missing, calendar)
+        ingestor.ingest_hour(values, missing, calendar)
+        if checkpoint is not None:
+            checkpoint.maybe_snapshot(ingestor)
+
+
+def assert_state_equal(actual: StreamIngestor, expected: StreamIngestor):
+    got, want = actual.state_dict(), expected.state_dict()
+    assert got["meta"] == want["meta"]
+    assert set(got["arrays"]) == set(want["arrays"])
+    for name in want["arrays"]:
+        np.testing.assert_array_equal(
+            got["arrays"][name], want["arrays"][name], err_msg=name
+        )
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(scored_dataset):
+    """The reference: the same replay with no crash and no checkpointing."""
+    ingestor = StreamIngestor.for_dataset(scored_dataset, w_max=WINDOW)
+    feed(scored_dataset, ingestor, None, 0, TOTAL_HOURS)
+    return ingestor
+
+
+class TestJournal:
+    SHAPE = (3, 2)
+
+    def records(self, n):
+        rng = np.random.default_rng(7)
+        out = []
+        for hour in range(n):
+            values = rng.normal(size=self.SHAPE)
+            missing = rng.random(self.SHAPE) < 0.2
+            values[missing] = np.nan
+            out.append((hour, values, missing, np.arange(5.0) + hour))
+        return out
+
+    def write(self, path, records):
+        with TickJournal(path, *self.SHAPE) as journal:
+            for hour, values, missing, calendar in records:
+                journal.append(hour, values, missing, calendar)
+
+    def test_roundtrip(self, tmp_path):
+        records = self.records(5)
+        path = tmp_path / "wal.log"
+        self.write(path, records)
+        read = list(TickJournal.read_records(path))
+        assert len(read) == 5
+        for (hour, values, missing, calendar), got in zip(records, read):
+            assert got[0] == hour
+            np.testing.assert_array_equal(got[1], values)
+            np.testing.assert_array_equal(got[2], missing)
+            assert got[2].dtype == bool
+            np.testing.assert_array_equal(got[3], calendar)
+
+    def test_reopen_appends(self, tmp_path):
+        records = self.records(6)
+        path = tmp_path / "wal.log"
+        self.write(path, records[:4])
+        self.write(path, records[4:])
+        assert [r[0] for r in TickJournal.read_records(path)] == list(range(6))
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self.write(path, self.records(5))
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size - 5)  # crash mid-append
+        assert len(list(TickJournal.read_records(path))) == 4
+
+    def test_corrupt_tail_crc_rejected(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self.write(path, self.records(3))
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.seek(size - 20)  # inside the last record's payload
+            handle.write(b"\xff")
+        assert len(list(TickJournal.read_records(path))) == 2
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self.write(path, self.records(1))
+        with pytest.raises(ValueError, match="sectors"):
+            TickJournal(path, 9, 9)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "not-a-journal.log"
+        path.write_bytes(b"garbage that is not a WAL header")
+        with pytest.raises(ValueError, match="not a tick journal"):
+            list(TickJournal.read_records(path))
+
+    def test_wrong_payload_size_rejected(self, tmp_path):
+        with TickJournal(tmp_path / "wal.log", *self.SHAPE) as journal:
+            with pytest.raises(ValueError, match="payload"):
+                journal.append(0, np.zeros((4, 4)), np.zeros((4, 4)), np.zeros(5))
+
+
+class TestCrashRecoveryParity:
+    # Kill points: mid-day, just before a snapshot (hour 96), just after
+    # it, and mid-week-2 (several snapshots plus a partial segment).
+    KILL_POINTS = (107, 95, 97, 250)
+
+    @pytest.mark.parametrize("kill_hour", KILL_POINTS)
+    def test_kill_and_restore_is_bitwise(
+        self, scored_dataset, uninterrupted, tmp_path, kill_hour
+    ):
+        ingestor = StreamIngestor.for_dataset(scored_dataset, w_max=WINDOW)
+        manager = CheckpointManager.for_ingestor(
+            tmp_path, ingestor, snapshot_every=SNAPSHOT_EVERY
+        )
+        feed(scored_dataset, ingestor, manager, 0, kill_hour)
+        del ingestor, manager  # crash: no close(), no final snapshot
+
+        recovered = CheckpointManager.recover(tmp_path)
+        assert recovered.ingestor is not None
+        assert recovered.ingestor.hours_seen == kill_hour
+        assert recovered.snapshot_hour == (kill_hour // SNAPSHOT_EVERY) * SNAPSHOT_EVERY
+        assert recovered.replayed == kill_hour - recovered.snapshot_hour
+
+        # Parity at the kill point itself...
+        at_kill = StreamIngestor.for_dataset(scored_dataset, w_max=WINDOW)
+        feed(scored_dataset, at_kill, None, 0, kill_hour)
+        assert_state_equal(recovered.ingestor, at_kill)
+
+        # ...and after resuming the stream to the end of the replay.
+        resumed_manager = CheckpointManager.for_ingestor(
+            tmp_path, recovered.ingestor, snapshot_every=SNAPSHOT_EVERY
+        )
+        feed(
+            scored_dataset, recovered.ingestor, resumed_manager,
+            kill_hour, TOTAL_HOURS,
+        )
+        assert_state_equal(recovered.ingestor, uninterrupted)
+        t_day = TOTAL_HOURS // HOURS_PER_DAY - 1
+        np.testing.assert_array_equal(
+            recovered.ingestor.feature_window(t_day, WINDOW),
+            uninterrupted.feature_window(t_day, WINDOW),
+        )
+
+    def test_corrupt_newest_snapshot_falls_back(self, scored_dataset, tmp_path):
+        ingestor = StreamIngestor.for_dataset(scored_dataset, w_max=WINDOW)
+        manager = CheckpointManager.for_ingestor(
+            tmp_path, ingestor, snapshot_every=SNAPSHOT_EVERY
+        )
+        feed(scored_dataset, ingestor, manager, 0, 250)
+        newest = sorted(tmp_path.glob("snapshot-*.npz"))[-1]
+        newest.write_bytes(b"torn snapshot")
+
+        recovered = CheckpointManager.recover(tmp_path)
+        assert recovered.snapshot_hour == 192  # the older retained snapshot
+        assert recovered.ingestor.hours_seen == 250
+        assert_state_equal(recovered.ingestor, ingestor)
+
+    def test_journal_only_recovery(self, tmp_path):
+        ingestor = StreamIngestor(n_sectors=5)  # default 21-KPI config
+        shape = (ingestor.n_sectors, ingestor.n_kpis)
+        manager = CheckpointManager.for_ingestor(
+            tmp_path, ingestor, snapshot_every=10**6
+        )
+        rng = np.random.default_rng(3)
+        for hour in range(30):
+            values = rng.normal(size=shape)
+            values[rng.random(shape) < 0.1] = np.nan
+            missing = np.isnan(values)
+            calendar = ingestor._default_calendar_row(hour)
+            manager.record_tick(hour, values, missing, calendar)
+            ingestor.ingest_hour(values, missing, calendar)
+        manager.close()
+
+        recovered = CheckpointManager.recover(tmp_path)
+        assert recovered.snapshot_hour == 0
+        assert recovered.replayed == 30
+        assert_state_equal(recovered.ingestor, ingestor)
+
+    def test_empty_directory_recovers_nothing(self, tmp_path):
+        recovered = CheckpointManager.recover(tmp_path)
+        assert recovered.ingestor is None
+        assert (recovered.snapshot_hour, recovered.replayed) == (0, 0)
+
+
+class TestCheckpointHousekeeping:
+    def test_snapshot_atomic_and_pruned(self, scored_dataset, tmp_path):
+        ingestor = StreamIngestor.for_dataset(scored_dataset, w_max=WINDOW)
+        manager = CheckpointManager.for_ingestor(
+            tmp_path, ingestor, snapshot_every=SNAPSHOT_EVERY, keep_snapshots=2
+        )
+        feed(scored_dataset, ingestor, manager, 0, 250)
+        manager.close()
+        assert list(tmp_path.glob("*.tmp")) == []
+        snapshots = sorted(p.name for p in tmp_path.glob("snapshot-*.npz"))
+        assert snapshots == ["snapshot-00000192.npz", "snapshot-00000240.npz"]
+        # Segments before the oldest retained snapshot are superseded.
+        segments = sorted(p.name for p in tmp_path.glob("wal-*.log"))
+        assert segments == ["wal-00000192.log", "wal-00000240.log"]
+        stats = manager.stats()
+        assert stats["snapshots_written"] == 5
+        assert stats["last_snapshot_hour"] == 240
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            CheckpointManager(tmp_path, 2, 2, snapshot_every=0)
+        with pytest.raises(ValueError, match="keep_snapshots"):
+            CheckpointManager(tmp_path, 2, 2, keep_snapshots=0)
+
+
+class TestGuardIdempotency:
+    """Duplicate ticks through the resilient service: ingest-once."""
+
+    @pytest.fixture()
+    def guard(self, scored_dataset, tmp_path):
+        ingestor = StreamIngestor.for_dataset(scored_dataset, w_max=WINDOW)
+        engine = PredictionEngine(
+            ingestor, ModelRegistry(tmp_path / "registry"), window=WINDOW
+        )
+        service = HotSpotService(engine, ServeConfig(start_day=10**6))
+        manager = CheckpointManager.for_ingestor(
+            tmp_path / "ckpt", ingestor, snapshot_every=10**6
+        )
+        guard = ResilientHotSpotService(service, checkpoint=manager)
+        kpis = scored_dataset.kpis
+        for hour in range(30):
+            guard.submit_tick(
+                kpis.values[:, hour, :], kpis.missing[:, hour, :],
+                scored_dataset.calendar[hour], hour=hour,
+            )
+        return guard
+
+    def tick(self, dataset, hour):
+        kpis = dataset.kpis
+        return (
+            kpis.values[:, hour, :], kpis.missing[:, hour, :],
+            dataset.calendar[hour],
+        )
+
+    def test_duplicate_tick_is_idempotent(self, scored_dataset, guard):
+        state_before = guard.ingestor.state_dict()
+        appends_before = guard.checkpoint.stats()["journal_appends"]
+        values, missing, calendar = self.tick(scored_dataset, 10)
+        events = guard.submit_tick(values, missing, calendar, hour=10)
+        assert [e["event"] for e in events] == ["duplicate"]
+        assert guard.ingestor.hours_seen == 30
+        assert guard.checkpoint.stats()["journal_appends"] == appends_before
+        assert guard.telemetry.counter("ticks_reconciled") == 1
+        assert_state_equal(
+            guard.ingestor, StreamIngestor.from_state(state_before)
+        )
+
+    def test_conflicting_duplicate_quarantines(self, scored_dataset, guard):
+        values, missing, calendar = self.tick(scored_dataset, 10)
+        events = guard.submit_tick(values + 1.0, missing, calendar, hour=10)
+        assert [e["event"] for e in events] == ["quarantine"]
+        assert events[0]["reason"] == "conflicting_duplicate"
+        assert guard.dead_letters.total == 1
+        assert guard.ingestor.hours_seen == 30

@@ -259,6 +259,39 @@ class TestJsonlProtocol:
         assert processed == 3  # blank line skipped
         assert [e["type"] for e in events] == ["error", "error", "stopped"]
 
+    def test_error_events_are_structured(self, service):
+        before = service.telemetry.counter("stream_errors")
+        out = io.StringIO()
+        lines = [
+            "{broken",                                # malformed_json
+            json.dumps([1, 2, 3]),                    # not_an_object
+            json.dumps({"op": "teleport"}),           # unknown_op
+            json.dumps({"op": "tick", "values": [[1]]}),  # operation_failed
+        ]
+        service.run_jsonl(lines, out)
+        events = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert [e["reason"] for e in events] == [
+            "malformed_json", "not_an_object", "unknown_op", "operation_failed",
+        ]
+        for line_no, event in enumerate(events, start=1):
+            assert event["event"] == "error"
+            assert event["line"] == line_no
+            assert event["error"] and event["message"]
+        assert events[2]["op"] == "teleport"
+        assert events[3]["op"] == "tick"
+        assert service.telemetry.counter("stream_errors") == before + 4
+
+    def test_dead_event_sink_propagates_oserror(self, service):
+        class DeadSink:
+            def write(self, text):
+                raise BrokenPipeError("downstream went away")
+
+            def flush(self):
+                pass
+
+        with pytest.raises(OSError):
+            service.run_jsonl([json.dumps({"op": "stats"})], DeadSink())
+
 
 class TestServeCLI:
     def test_end_to_end_replay(self, tmp_path, capsys):

@@ -154,3 +154,51 @@ class TestTrainAndRegister:
         )
         assert again == keys
         assert registry.stats()["saves"] == 4
+
+
+class TestCrashSafety:
+    """Atomic saves and corrupt-entry handling (RegistryCorruptError)."""
+
+    def save_one(self, runner, root, model_name="Average"):
+        registry = ModelRegistry(root)
+        key = ModelKey("hot", model_name, HORIZON, WINDOW)
+        registry.save(key, runner.train_cell(model_name, T_DAY, HORIZON, WINDOW))
+        return registry, key
+
+    def test_save_leaves_no_temp_files(self, runner, tmp_path):
+        registry, key = self.save_one(runner, tmp_path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [key.filename]
+
+    def test_failed_save_cleans_up_temp_file(self, runner, tmp_path, monkeypatch):
+        registry = ModelRegistry(tmp_path)
+        key = ModelKey("hot", "Average", HORIZON, WINDOW)
+
+        def broken_savez(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(
+            "repro.serve.registry.np.savez_compressed", broken_savez
+        )
+        with pytest.raises(OSError, match="disk full"):
+            registry.save(key, runner.train_cell("Average", T_DAY, HORIZON, WINDOW))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_entry_raises_registry_corrupt(self, runner, tmp_path):
+        from repro.serve import RegistryCorruptError
+
+        registry, key = self.save_one(runner, tmp_path)
+        registry.path_for(key).write_bytes(b"this is not an npz archive")
+        registry.evict_all()
+        with pytest.raises(RegistryCorruptError, match="corrupt registry entry"):
+            registry.get(key)
+        # Distinct from a model that was never registered at all.
+        with pytest.raises(FileNotFoundError):
+            registry.load(ModelKey("hot", "Persist", HORIZON, WINDOW))
+
+    def test_keys_skips_corrupt_entries_with_warning(self, runner, tmp_path):
+        registry, good_key = self.save_one(runner, tmp_path)
+        bad_key = ModelKey("hot", "Persist", HORIZON, WINDOW)
+        registry.path_for(bad_key).write_bytes(b"torn mid-write")
+        with pytest.warns(RuntimeWarning, match="corrupt registry entry"):
+            keys = registry.keys()
+        assert keys == [good_key]
