@@ -229,42 +229,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     guarded = ResilientHotSpotService(service, checkpoint=checkpoint)
 
-    if args.from_stdin:
-        processed = service.run_jsonl(sys.stdin, sys.stdout)
-        _info(f"processed {processed} operations", args.quiet, sys.stderr)
-        errors = service.telemetry.counter("stream_errors")
-        if errors:
-            _info(f"{errors} stream errors (see error events)", args.quiet, sys.stderr)
-        return 0
+    try:
+        if args.from_stdin:
+            # Stdin ticks take the same guarded path as replay ticks:
+            # validation/quarantine always, journal + snapshots when a
+            # checkpoint directory is configured.
+            processed = guarded.run_jsonl(sys.stdin, sys.stdout)
+            _info(f"processed {processed} operations", args.quiet, sys.stderr)
+            errors = service.telemetry.counter("stream_errors")
+            if errors:
+                _info(
+                    f"{errors} stream errors (see error events)",
+                    args.quiet,
+                    sys.stderr,
+                )
+            return 0
 
-    # Replay mode: drive the resilient service with the dataset's hours.
-    kpis = dataset.kpis
-    end_day = n_days if args.max_days is None else min(args.max_days, n_days)
-    alerts = 0
-    for hour in range(start_hour, end_day * HOURS_PER_DAY):
-        events = guarded.submit_tick(
-            kpis.values[:, hour, :],
-            kpis.missing[:, hour, :],
-            dataset.calendar[hour],
-            hour=hour,
+        # Replay mode: drive the resilient service with the dataset's hours.
+        kpis = dataset.kpis
+        end_day = n_days if args.max_days is None else min(args.max_days, n_days)
+        alerts = 0
+        for hour in range(start_hour, end_day * HOURS_PER_DAY):
+            events = guarded.submit_tick(
+                kpis.values[:, hour, :],
+                kpis.missing[:, hour, :],
+                dataset.calendar[hour],
+                hour=hour,
+            )
+            for event in events:
+                if event.get("type") == "alert":
+                    alerts += 1
+                # Flush per event: with stdout redirected the stdio
+                # buffer is block-buffered, and a kill would discard
+                # events for hours the WAL already acknowledged — the
+                # resume replays state, not emitted events, so anything
+                # buffered here would be lost for good.
+                print(json.dumps(event), flush=True)
+        stats = guarded.stats()
+        _info(
+            f"replayed {end_day} days: {alerts} alerts, "
+            f"{stats['counters'].get('cache_hits', 0)} cache hits / "
+            f"{stats['counters'].get('cache_misses', 0)} misses, "
+            f"{stats['counters'].get('ticks_quarantined', 0)} quarantined, "
+            f"{stats['counters'].get('degraded_predictions', 0)} degraded",
+            args.quiet,
+            sys.stderr,
         )
-        for event in events:
-            if event.get("type") == "alert":
-                alerts += 1
-            print(json.dumps(event))
-    stats = guarded.stats()
-    _info(
-        f"replayed {end_day} days: {alerts} alerts, "
-        f"{stats['counters'].get('cache_hits', 0)} cache hits / "
-        f"{stats['counters'].get('cache_misses', 0)} misses, "
-        f"{stats['counters'].get('ticks_quarantined', 0)} quarantined, "
-        f"{stats['counters'].get('degraded_predictions', 0)} degraded",
-        args.quiet,
-        sys.stderr,
-    )
-    if checkpoint is not None:
-        checkpoint.close()
-    return 0
+        return 0
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
 
 
 def build_parser() -> argparse.ArgumentParser:

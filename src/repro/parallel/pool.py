@@ -74,7 +74,11 @@ def partition(items: Sequence[T], n_chunks: int) -> list[list[T]]:
 
 def _terminate_pool(executor: ProcessPoolExecutor) -> None:
     """Force a (possibly hung or broken) pool down without blocking."""
-    workers = list(getattr(executor, "_processes", {}).values())
+    # ProcessPoolExecutor exposes no public kill switch; `_processes`
+    # is a private CPython detail (stable since 3.7).  Guard the access
+    # so a future rename degrades to a plain non-blocking shutdown —
+    # workers may linger, but the parent still makes progress.
+    workers = list((getattr(executor, "_processes", None) or {}).values())
     for process in workers:
         try:
             process.terminate()
@@ -104,8 +108,14 @@ def ordered_chunk_map(
 
     *chunk_timeout* (seconds, also settable via the
     ``REPRO_CHUNK_TIMEOUT`` environment variable) is a progress
-    watchdog: if no chunk completes within it, the pool is declared hung.
-    A hung or **died** pool (a worker killed mid-chunk) no longer sinks
+    watchdog: if no chunk completes within it, the pool is declared
+    hung.  The watchdog cannot distinguish a hung worker from one
+    mid-way through a legitimately long chunk — a false positive tears
+    the pool down and re-runs every unfinished chunk serially, which is
+    far slower than waiting would have been.  **Set it comfortably
+    above the slowest chunk you expect** (a generous multiple, not a
+    tight bound), or leave it unset to wait indefinitely.  A hung or
+    **died** pool (a worker killed mid-chunk) no longer sinks
     the whole map — the surviving workers' results are kept, the pool is
     torn down, and the lost chunks are re-run serially in the calling
     process (running *initializer* locally first), so the map always

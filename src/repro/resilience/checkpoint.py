@@ -5,8 +5,11 @@ from its checkpoint directory replays to a state **bitwise-equal** to an
 uninterrupted run.  Two pieces make that hold:
 
 * every *accepted* tick (including synthesised gap-fill hours) is
-  appended to a CRC-guarded binary write-ahead log **before** it enters
-  the ingestor, so no acknowledged hour can be lost;
+  appended to a CRC-guarded binary write-ahead log after it is applied
+  but **before** its events are released to the caller (apply → journal
+  → acknowledge), so no hour whose effects anything downstream has seen
+  can be lost — a tick that crashes mid-apply is simply absent from the
+  journal and re-processed on resume;
 * periodically the full :class:`~repro.serve.ingest.StreamIngestor`
   state (:meth:`state_dict` — rings, cumulative sums, histories, clock)
   is written to an ``.npz`` snapshot via a temp file and
@@ -28,9 +31,18 @@ Journal format (little-endian)::
 
 A torn tail record (crash mid-append) fails its length or CRC check and
 replay stops cleanly there — exactly the at-most-one-unacknowledged-tick
-loss a write-ahead design permits.  Snapshots supersede journal
-segments: at snapshot time the journal rotates to a fresh segment and
-fully-covered segments are pruned.
+loss a write-ahead design permits.  Reopening a segment for append
+first scans it and truncates any torn tail, so records appended after a
+resume always sit directly behind intact ones and are never stranded
+beyond a bad record.  Snapshots supersede journal segments: at snapshot
+time the journal rotates to a fresh segment and fully-covered segments
+are pruned.
+
+Alongside the segments and snapshots the manager persists the ingestor
+construction parameters (``meta.json``: shape, anchors, ``w_max``,
+capacity, score config) so a journal-only recovery — a crash before the
+first snapshot — rebuilds an identically configured ingestor rather
+than a default one.
 """
 
 from __future__ import annotations
@@ -45,6 +57,7 @@ from typing import IO, Iterator
 
 import numpy as np
 
+from repro.core.scoring import ScoreConfig
 from repro.serve.ingest import StreamIngestor
 
 __all__ = ["TickJournal", "CheckpointManager", "RecoveredState"]
@@ -54,6 +67,7 @@ _HEADER = struct.Struct("<II")
 _RECORD_HEAD = struct.Struct("<QI")
 _CRC = struct.Struct("<I")
 _CALENDAR_WIDTH = 5
+_META_NAME = "meta.json"
 
 
 class TickJournal:
@@ -62,8 +76,11 @@ class TickJournal:
     Parameters
     ----------
     path:
-        Journal file; created (with header) if absent, validated and
-        opened for append if present.
+        Journal file; created (with header) if absent.  An existing
+        file is validated, scanned, and **truncated at the end of its
+        last intact record** before append — a torn tail left by a
+        crashed writer would otherwise strand every later append behind
+        a record :meth:`read_records` refuses to cross.
     n_sectors, n_kpis:
         Payload shape baked into the header.
     sync:
@@ -85,14 +102,47 @@ class TickJournal:
         )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fresh = not self.path.exists() or self.path.stat().st_size == 0
+        if not fresh:
+            with open(self.path, "rb") as readable:
+                self._check_header(readable)
+                valid_end = self._scan_valid_end(readable)
+            if valid_end < self.path.stat().st_size:
+                # Torn/corrupt tail from a crashed writer: cut the file
+                # back to its last intact record, otherwise every record
+                # appended from here on would sit behind a bad one and
+                # be unreachable to read_records() at the next recovery.
+                with open(self.path, "r+b") as writable:
+                    writable.truncate(valid_end)
+                    writable.flush()
+                    os.fsync(writable.fileno())
         self._handle: IO[bytes] = open(self.path, "ab")
         if fresh:
             self._handle.write(_MAGIC + _HEADER.pack(self.n_sectors, self.n_kpis))
             self._flush()
-        else:
-            with open(self.path, "rb") as readable:
-                self._check_header(readable)
         self.appended = 0
+
+    def _scan_valid_end(self, handle: IO[bytes]) -> int:
+        """Byte offset just past the last intact record in *handle*.
+
+        *handle* must be positioned at the first record (right after the
+        header).  Anything beyond the returned offset failed a length or
+        CRC check and is unusable.
+        """
+        end = handle.tell()
+        while True:
+            record_head = handle.read(_RECORD_HEAD.size)
+            if len(record_head) < _RECORD_HEAD.size:
+                return end
+            _, payload_len = _RECORD_HEAD.unpack(record_head)
+            if payload_len != self._payload_len:
+                return end
+            payload = handle.read(payload_len)
+            crc_bytes = handle.read(_CRC.size)
+            if len(payload) < payload_len or len(crc_bytes) < _CRC.size:
+                return end
+            if zlib.crc32(payload) != _CRC.unpack(crc_bytes)[0]:
+                return end
+            end = handle.tell()
 
     def _check_header(self, handle: IO[bytes]) -> None:
         head = handle.read(len(_MAGIC) + _HEADER.size)
@@ -210,6 +260,7 @@ class CheckpointManager:
 
         <directory>/wal-<start_hour:08d>.log      journal segments
         <directory>/snapshot-<hours:08d>.npz      atomic state snapshots
+        <directory>/meta.json                     ingestor construction meta
 
     Parameters
     ----------
@@ -223,6 +274,12 @@ class CheckpointManager:
         Snapshots retained; older ones are pruned after each snapshot.
     sync:
         Passed to :class:`TickJournal`.
+    ingestor_meta:
+        Construction parameters of the ingestor being checkpointed (see
+        :meth:`construction_meta`); written atomically to ``meta.json``
+        so a journal-only recovery (crash before the first snapshot)
+        rebuilds an identically configured ingestor.  Supplied
+        automatically by :meth:`for_ingestor`.
     """
 
     def __init__(
@@ -233,6 +290,7 @@ class CheckpointManager:
         snapshot_every: int = 168,
         keep_snapshots: int = 2,
         sync: bool = False,
+        ingestor_meta: dict | None = None,
     ) -> None:
         if snapshot_every < 1:
             raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
@@ -246,6 +304,8 @@ class CheckpointManager:
         self.keep_snapshots = keep_snapshots
         self.sync = sync
         self.snapshots_written = 0
+        if ingestor_meta is not None:
+            self._write_meta(ingestor_meta)
         self._last_snapshot_hour = self._newest_snapshot_hour()
         start = max(self._last_snapshot_hour, self._newest_segment_start())
         self._journal = TickJournal(
@@ -256,7 +316,44 @@ class CheckpointManager:
     def for_ingestor(
         cls, directory: str | Path, ingestor: StreamIngestor, **kwargs
     ) -> "CheckpointManager":
+        kwargs.setdefault("ingestor_meta", cls.construction_meta(ingestor))
         return cls(directory, ingestor.n_sectors, ingestor.n_kpis, **kwargs)
+
+    @staticmethod
+    def construction_meta(ingestor: StreamIngestor) -> dict:
+        """JSON-able parameters that rebuild an equivalent empty ingestor."""
+        return {
+            "n_sectors": ingestor.n_sectors,
+            "n_kpis": ingestor.n_kpis,
+            "w_max": ingestor.w_max,
+            "capacity": ingestor.capacity,
+            "start_weekday": ingestor.start_weekday,
+            "start_hour": ingestor.start_hour,
+            "start_day_of_month": ingestor.start_day_of_month,
+            "weights": list(ingestor.config.weights),
+            "thresholds": list(ingestor.config.thresholds),
+            "hotspot_threshold": ingestor.config.hotspot_threshold,
+        }
+
+    def _write_meta(self, meta: dict) -> None:
+        """Atomically persist *meta* as ``meta.json`` (temp + replace)."""
+        path = self.directory / _META_NAME
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{_META_NAME}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(meta, handle, indent=2)
+                if self.sync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     # ------------------------------------------------------------- paths
     def _segment_path(self, start_hour: int) -> Path:
@@ -287,7 +384,7 @@ class CheckpointManager:
         missing: np.ndarray,
         calendar_row: np.ndarray,
     ) -> None:
-        """Journal one accepted tick (call *before* ingesting it)."""
+        """Journal one applied tick (call before acknowledging it)."""
         self._journal.append(hour, values, missing, calendar_row)
 
     # ----------------------------------------------------------- snapshot
@@ -371,8 +468,9 @@ class CheckpointManager:
 
         Loads the newest readable snapshot (corrupt ones are skipped,
         falling back to older snapshots and ultimately to journal-only
-        replay from an empty ingestor), then replays every journal
-        record with ``hour >= snapshot.hours_seen`` in hour order.
+        replay from an empty ingestor configured from ``meta.json``),
+        then replays every journal record with ``hour >=
+        snapshot.hours_seen`` in hour order.
         """
         directory = Path(directory)
         ingestor: StreamIngestor | None = None
@@ -405,11 +503,12 @@ class CheckpointManager:
         replayed = 0
         for hour, values, missing, calendar in records:
             if ingestor is None:
-                # Journal-only recovery: derive the shape from the first
-                # record; calendar anchors default (rows are journaled).
-                ingestor = StreamIngestor(
-                    n_sectors=values.shape[0], n_kpis=values.shape[1]
-                )
+                # Journal-only recovery (crash before the first
+                # snapshot): rebuild from the persisted construction
+                # meta so anchors/w_max/capacity/score config match the
+                # original run; fall back to a shape-derived default
+                # only when the meta is absent or unusable.
+                ingestor = cls._fresh_ingestor(directory, values.shape)
             if hour < ingestor.hours_seen:
                 continue  # superseded by the snapshot
             if hour > ingestor.hours_seen:
@@ -417,3 +516,37 @@ class CheckpointManager:
             ingestor.ingest_hour(values, missing, calendar)
             replayed += 1
         return RecoveredState(ingestor, snapshot_hour, replayed)
+
+    @classmethod
+    def _fresh_ingestor(
+        cls, directory: Path, shape: tuple[int, int]
+    ) -> StreamIngestor:
+        """Empty ingestor for journal-only replay, shaped like *shape*.
+
+        Prefers the construction parameters persisted in ``meta.json``
+        (anchors, ``w_max``, capacity, score config) over defaults; a
+        missing, corrupt, or shape-mismatched meta degrades to the
+        default configuration rather than failing recovery.
+        """
+        try:
+            meta = json.loads(
+                (directory / _META_NAME).read_text(encoding="utf-8")
+            )
+            if (int(meta["n_sectors"]), int(meta["n_kpis"])) != tuple(shape):
+                raise ValueError("meta.json shape does not match the journal")
+            return StreamIngestor(
+                n_sectors=int(meta["n_sectors"]),
+                n_kpis=int(meta["n_kpis"]),
+                score_config=ScoreConfig(
+                    weights=tuple(float(w) for w in meta["weights"]),
+                    thresholds=tuple(float(t) for t in meta["thresholds"]),
+                    hotspot_threshold=float(meta["hotspot_threshold"]),
+                ),
+                w_max=int(meta["w_max"]),
+                capacity_hours=int(meta["capacity"]),
+                start_weekday=int(meta["start_weekday"]),
+                start_hour=int(meta["start_hour"]),
+                start_day_of_month=int(meta["start_day_of_month"]),
+            )
+        except Exception:  # noqa: BLE001 - degrade to defaults, never fail
+            return StreamIngestor(n_sectors=shape[0], n_kpis=shape[1])

@@ -1,4 +1,4 @@
-"""The fault-tolerant serving front: validate → journal → ingest → mask.
+"""The fault-tolerant serving front: validate → ingest → journal → mask.
 
 :class:`ResilientHotSpotService` wraps a plain
 :class:`~repro.serve.service.HotSpotService` with the full resilience
@@ -9,13 +9,16 @@ pipeline.  Every incoming tick passes through:
    structured reason; idempotent duplicates are reconciled (dropped,
    counted); forward clock gaps within budget are filled with synthetic
    all-missing hours so lost hours read as darkness, not corruption;
-2. **journaling** (:class:`~repro.resilience.checkpoint
-   .CheckpointManager`, optional) — accepted ticks (gap fills included)
-   hit the write-ahead log *before* the ingestor, and periodic atomic
-   snapshots bound replay time after a crash;
-3. **ingest + alerting** — the wrapped service runs as usual (with a
+2. **ingest + alerting** — the wrapped service runs as usual (with a
    :class:`~repro.resilience.degrade.ResilientPredictionEngine` the
    forecast path degrades instead of raising);
+3. **journaling** (:class:`~repro.resilience.checkpoint
+   .CheckpointManager`, optional) — accepted ticks (gap fills included)
+   hit the write-ahead log after they are applied but *before* their
+   events are released to the caller, and periodic atomic snapshots
+   bound replay time after a crash; a tick interrupted mid-apply is
+   absent from the journal and re-processed (events re-emitted) on
+   resume, never acknowledged-then-lost;
 4. **dark-sector masking** — sectors whose fully-missing run exceeds
    the Sec. II-C threshold are stripped from alert events until they
    report again; an alert emptied this way is replaced by an
@@ -134,15 +137,33 @@ class ResilientHotSpotService:
                 )
             ]
         assert verdict.action == ACCEPT
+        if self.checkpoint is not None:
+            # Snapshot at tick *entry*, before the new tick is applied:
+            # the state covered is identical to snapshotting right
+            # after the previous tick, but the slow npz write never
+            # sits between a journaled tick and the release of its
+            # events — a kill during the snapshot leaves this tick
+            # unjournaled and it is re-processed on resume.
+            self.checkpoint.maybe_snapshot(self.ingestor)
         events: list[dict] = []
         for _ in range(verdict.gap_hours):
             events.extend(self._ingest_gap_hour())
         events.extend(
             self._ingest(verdict.values, verdict.missing, verdict.calendar_row)
         )
-        if self.checkpoint is not None:
-            self.checkpoint.maybe_snapshot(self.ingestor)
         return events
+
+    def run_jsonl(self, lines, out) -> int:
+        """JSONL driver with the resilience pipeline in front.
+
+        Same stream protocol as :meth:`HotSpotService.run_jsonl`, but
+        every ``tick`` operation goes through :meth:`submit_tick` —
+        validated, quarantined/reconciled/gap-filled as needed, and
+        journaled/snapshotted when a checkpoint manager is attached —
+        instead of hitting the ingestor directly.  A tick may declare
+        its ``"hour"`` for duplicate/gap detection.
+        """
+        return self.service.run_jsonl(lines, out, tick_handler=self.submit_tick)
 
     def _ingest_gap_hour(self) -> list[dict]:
         """Synthesise one all-missing hour for a lost tick."""
@@ -166,9 +187,15 @@ class ResilientHotSpotService:
             if calendar_row is None
             else calendar_row
         )
+        events = self.service.ingest_hour(values, missing, calendar_row)
+        # Apply → journal → acknowledge.  The WAL append sits between
+        # the (potentially slow) ingest/forecast step and the return of
+        # the tick's events: a crash mid-apply leaves the hour out of
+        # the journal, so recovery re-processes it and its events are
+        # re-emitted rather than silently lost — journaling *before*
+        # apply would acknowledge hours whose alerts nobody ever saw.
         if self.checkpoint is not None:
             self.checkpoint.record_tick(hour, values, missing, journal_calendar)
-        events = self.service.ingest_hour(values, missing, calendar_row)
         newly_dark = self.dark.observe(missing)
         dark_events = [
             self.telemetry.event(

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import IO, Iterable
+from typing import IO, Callable, Iterable
 
 import numpy as np
 
@@ -134,13 +134,26 @@ class HotSpotService:
         return self.engine.stats()
 
     # ----------------------------------------------------------------- jsonl
-    def run_jsonl(self, lines: Iterable[str], out: IO[str]) -> int:
+    def run_jsonl(
+        self,
+        lines: Iterable[str],
+        out: IO[str],
+        tick_handler: "Callable[..., list[dict]] | None" = None,
+    ) -> int:
         """Drive the service from a JSON-lines stream.
 
         Supported operations (one JSON object per input line):
 
-        * ``{"op": "tick", "values": [[...]], "missing": ..., "calendar": ...}``
-          — ingest one hour; emits any resulting day/alert events.
+        * ``{"op": "tick", "values": [[...]], "missing": ..., "calendar": ...,
+          "hour": ...}`` — ingest one hour; emits any resulting
+          day/alert events.  *tick_handler* overrides how the tick is
+          applied: it is called as ``tick_handler(values, missing,
+          calendar, hour)`` and must return the tick's events — this is
+          how :class:`~repro.resilience.guard.ResilientHotSpotService`
+          puts validation, quarantine, and journaling in front of the
+          stream (the optional declared ``hour`` only matters there,
+          for duplicate/gap detection).  The default handler ingests
+          directly.
         * ``{"op": "predict", "horizon": h, "model": ..., "window": ...}``
           — on-demand forecast; emits a ``"prediction"`` event.
         * ``{"op": "stats"}`` — emits a ``"stats"`` snapshot event.
@@ -156,6 +169,8 @@ class HotSpotService:
         CLI turns it into exit code 1.  Returns the number of processed
         operations.
         """
+        if tick_handler is None:
+            tick_handler = self._ingest_tick
         processed = 0
         for line_no, line in enumerate(lines, start=1):
             line = line.strip()
@@ -179,7 +194,7 @@ class HotSpotService:
                     self._emit(out, {"type": "stopped", "processed": processed})
                     break
                 if op == "tick" or op == "predict" or op == "stats":
-                    self._handle(out, request, op)
+                    self._handle(out, request, op, tick_handler)
                 else:
                     self._emit_error(
                         out, line_no, op, "unknown_op",
@@ -211,7 +226,19 @@ class HotSpotService:
             },
         )
 
-    def _handle(self, out: IO[str], request: dict, op: str | None) -> None:
+    def _ingest_tick(
+        self, values, missing, calendar_row, hour=None
+    ) -> list[dict]:
+        """Default JSONL tick handler: plain ingest (declared hour unused)."""
+        return self.ingest_hour(values, missing, calendar_row)
+
+    def _handle(
+        self,
+        out: IO[str],
+        request: dict,
+        op: str | None,
+        tick_handler: "Callable[..., list[dict]]",
+    ) -> None:
         if op == "tick":
             values = np.asarray(request["values"], dtype=np.float64)
             missing = request.get("missing")
@@ -220,7 +247,10 @@ class HotSpotService:
             calendar = request.get("calendar")
             if calendar is not None:
                 calendar = np.asarray(calendar, dtype=np.float64)
-            for event in self.ingest_hour(values, missing, calendar):
+            hour = request.get("hour")
+            if hour is not None:
+                hour = int(hour)
+            for event in tick_handler(values, missing, calendar, hour):
                 self._emit(out, event)
         elif op == "predict":
             scores = self.engine.predict(

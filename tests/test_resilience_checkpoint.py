@@ -9,6 +9,9 @@ mid-day, mid-week, and both sides of a snapshot boundary.
 
 from __future__ import annotations
 
+import io
+import json
+
 import numpy as np
 import pytest
 
@@ -113,6 +116,29 @@ class TestJournal:
             handle.write(b"\xff")
         assert len(list(TickJournal.read_records(path))) == 2
 
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        # Crash mid-append, then resume: the reopened journal must cut
+        # the torn record off before appending, or every post-resume
+        # record would be stranded behind it at the next recovery.
+        records = self.records(7)
+        path = tmp_path / "wal.log"
+        self.write(path, records[:5])
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size - 5)  # tear record 4
+        self.write(path, records[4:])  # resume re-acknowledges hour 4
+        assert [r[0] for r in TickJournal.read_records(path)] == list(range(7))
+
+    def test_reopen_truncates_corrupt_tail(self, tmp_path):
+        records = self.records(5)
+        path = tmp_path / "wal.log"
+        self.write(path, records[:3])
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.seek(size - 20)  # inside the last record's payload
+            handle.write(b"\xff")
+        self.write(path, records[2:])
+        assert [r[0] for r in TickJournal.read_records(path)] == list(range(5))
+
     def test_shape_mismatch_rejected(self, tmp_path):
         path = tmp_path / "wal.log"
         self.write(path, self.records(1))
@@ -187,6 +213,39 @@ class TestCrashRecoveryParity:
         assert recovered.ingestor.hours_seen == 250
         assert_state_equal(recovered.ingestor, ingestor)
 
+    def test_resume_after_torn_tail_keeps_later_ticks(
+        self, scored_dataset, tmp_path
+    ):
+        # The full loop the WAL contract promises to survive: crash
+        # mid-append (torn tail), recover, resume appending to the same
+        # segment, crash again *before the next snapshot* — nothing
+        # acknowledged after the resume may be lost to the second
+        # recovery (the reopened journal must truncate the torn record,
+        # not append behind it).
+        ingestor = StreamIngestor.for_dataset(scored_dataset, w_max=WINDOW)
+        manager = CheckpointManager.for_ingestor(
+            tmp_path, ingestor, snapshot_every=SNAPSHOT_EVERY
+        )
+        feed(scored_dataset, ingestor, manager, 0, 50)
+        del ingestor, manager  # crash...
+        segment = sorted(tmp_path.glob("wal-*.log"))[-1]
+        with open(segment, "r+b") as handle:
+            handle.truncate(segment.stat().st_size - 5)  # ...mid-append
+
+        recovered = CheckpointManager.recover(tmp_path)
+        assert recovered.ingestor.hours_seen == 49  # hour 49 was torn
+        resumed = CheckpointManager.for_ingestor(
+            tmp_path, recovered.ingestor, snapshot_every=SNAPSHOT_EVERY
+        )
+        feed(scored_dataset, recovered.ingestor, resumed, 49, 90)
+        del resumed  # second crash, still before the hour-96 snapshot
+
+        final = CheckpointManager.recover(tmp_path)
+        assert final.ingestor.hours_seen == 90
+        reference = StreamIngestor.for_dataset(scored_dataset, w_max=WINDOW)
+        feed(scored_dataset, reference, None, 0, 90)
+        assert_state_equal(final.ingestor, reference)
+
     def test_journal_only_recovery(self, tmp_path):
         ingestor = StreamIngestor(n_sectors=5)  # default 21-KPI config
         shape = (ingestor.n_sectors, ingestor.n_kpis)
@@ -212,6 +271,50 @@ class TestCrashRecoveryParity:
         recovered = CheckpointManager.recover(tmp_path)
         assert recovered.ingestor is None
         assert (recovered.snapshot_hour, recovered.replayed) == (0, 0)
+
+    def _feed_custom(self, tmp_path, hours=30):
+        """A non-default ingestor fed pre-first-snapshot, then crashed."""
+        ingestor = StreamIngestor(
+            n_sectors=4, w_max=9, start_weekday=3, start_hour=5,
+            start_day_of_month=12,
+        )
+        shape = (ingestor.n_sectors, ingestor.n_kpis)
+        manager = CheckpointManager.for_ingestor(
+            tmp_path, ingestor, snapshot_every=10**6
+        )
+        rng = np.random.default_rng(17)
+        for hour in range(hours):
+            values = rng.normal(size=shape)
+            missing = np.zeros(shape, dtype=bool)
+            calendar = ingestor._default_calendar_row(hour)
+            manager.record_tick(hour, values, missing, calendar)
+            ingestor.ingest_hour(values, missing, calendar)
+        manager.close()
+        return ingestor
+
+    def test_journal_only_recovery_restores_construction(self, tmp_path):
+        # A crash before the first snapshot must not recover an
+        # ingestor with default anchors/w_max/capacity: meta.json
+        # persists the construction parameters.
+        ingestor = self._feed_custom(tmp_path)
+        assert (tmp_path / "meta.json").exists()
+        recovered = CheckpointManager.recover(tmp_path)
+        assert recovered.snapshot_hour == 0
+        assert recovered.replayed == 30
+        # assert_state_equal compares state_dict meta too, which covers
+        # w_max, capacity, and the calendar anchors.
+        assert_state_equal(recovered.ingestor, ingestor)
+
+    def test_corrupt_meta_degrades_to_default_config(self, tmp_path):
+        ingestor = self._feed_custom(tmp_path)
+        (tmp_path / "meta.json").write_text("{not json", encoding="utf-8")
+        recovered = CheckpointManager.recover(tmp_path)
+        # Recovery still succeeds (journaled ticks replay into a
+        # default-configured ingestor of the right shape).
+        assert recovered.replayed == 30
+        assert recovered.ingestor.hours_seen == 30
+        assert recovered.ingestor.n_sectors == ingestor.n_sectors
+        assert recovered.ingestor.w_max == 21  # default, meta unusable
 
 
 class TestCheckpointHousekeeping:
@@ -288,3 +391,63 @@ class TestGuardIdempotency:
         assert events[0]["reason"] == "conflicting_duplicate"
         assert guard.dead_letters.total == 1
         assert guard.ingestor.hours_seen == 30
+
+
+class TestGuardJsonl:
+    """JSONL (``--from-stdin``) ticks take the guarded path: validated,
+    quarantined on contract violations, and journaled for recovery."""
+
+    def build(self, tmp_path):
+        ingestor = StreamIngestor(n_sectors=3, w_max=8)
+        engine = PredictionEngine(
+            ingestor, ModelRegistry(tmp_path / "registry"), window=7
+        )
+        service = HotSpotService(engine, ServeConfig(start_day=10**6))
+        manager = CheckpointManager.for_ingestor(
+            tmp_path / "ckpt", ingestor, snapshot_every=10**6
+        )
+        return ResilientHotSpotService(service, checkpoint=manager)
+
+    def test_jsonl_ticks_are_validated_and_journaled(self, tmp_path):
+        guard = self.build(tmp_path)
+        shape = (guard.ingestor.n_sectors, guard.ingestor.n_kpis)
+        rng = np.random.default_rng(9)
+        lines = [
+            json.dumps({
+                "op": "tick",
+                "values": rng.normal(size=shape).tolist(),
+                "hour": hour,
+            })
+            for hour in range(5)
+        ]
+        lines.append(json.dumps({"op": "tick", "values": [[1.0]]}))  # bad shape
+        lines.append(json.dumps({"op": "stop"}))
+        out = io.StringIO()
+        processed = guard.run_jsonl(lines, out)
+        events = [json.loads(line) for line in out.getvalue().splitlines()]
+
+        assert processed == 7
+        assert guard.ingestor.hours_seen == 5
+        # The malformed tick was quarantined, not ingested and not an error.
+        assert sum(e.get("event") == "quarantine" for e in events) == 1
+        assert guard.telemetry.counter("ticks_quarantined") == 1
+        assert guard.dead_letters.total == 1
+        # Every accepted tick hit the WAL, so a crash here recovers all 5.
+        assert guard.checkpoint.stats()["journal_appends"] == 5
+        guard.checkpoint.close()
+        recovered = CheckpointManager.recover(tmp_path / "ckpt")
+        assert recovered.replayed == 5
+        assert_state_equal(recovered.ingestor, guard.ingestor)
+
+    def test_jsonl_duplicate_tick_reconciled(self, tmp_path):
+        guard = self.build(tmp_path)
+        shape = (guard.ingestor.n_sectors, guard.ingestor.n_kpis)
+        rng = np.random.default_rng(11)
+        values = rng.normal(size=shape).tolist()
+        tick = json.dumps({"op": "tick", "values": values, "hour": 0})
+        out = io.StringIO()
+        guard.run_jsonl([tick, tick], out)
+        events = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert guard.ingestor.hours_seen == 1
+        assert any(e.get("event") == "duplicate" for e in events)
+        assert guard.checkpoint.stats()["journal_appends"] == 1

@@ -335,6 +335,38 @@ class TestServeCLI:
         events = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
         assert [e["type"] for e in events] == ["stats", "stopped"]
 
+    def test_from_stdin_ticks_are_guarded_and_checkpointed(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Stdin ticks must take the resilient path: a malformed tick is
+        # quarantined (not an error, not ingested) and, with a
+        # checkpoint directory, construction meta is persisted so
+        # --resume works from stdin-fed state.
+        data_path = str(tmp_path / "net.npz")
+        assert cli_main([
+            "generate", "--towers", "6", "--weeks", "8", "--seed", "4",
+            "--out", data_path,
+        ]) == 0
+        capsys.readouterr()
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO('{"op": "tick", "values": [[1.0]]}\n{"op": "stop"}\n'),
+        )
+        ckpt = tmp_path / "ckpt"
+        assert cli_main([
+            "--quiet", "serve", "--data", data_path, "--impute-epochs", "1",
+            "--registry", str(tmp_path / "models"),
+            "--train-day", "30", "--estimators", "3", "--training-days", "2",
+            "--from-stdin", "--checkpoint-dir", str(ckpt),
+        ]) == 0
+        events = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert events[0]["event"] == "quarantine"
+        assert events[0]["reason"] == "shape"
+        assert events[-1]["type"] == "stopped"
+        # Checkpoint directory was initialised (meta + WAL) and closed.
+        assert (ckpt / "meta.json").exists()
+        assert sorted(ckpt.glob("wal-*.log"))
+
     def test_bad_train_day_errors(self, tmp_path, capsys):
         data_path = str(tmp_path / "net.npz")
         assert cli_main([
