@@ -1,12 +1,13 @@
 """Command-line front end.
 
-Five subcommands cover the full pipeline::
+Six subcommands cover the full pipeline::
 
-    hotspot-repro generate --towers 100 --weeks 18 --out data.npz
-    hotspot-repro analyze  --data data.npz
-    hotspot-repro forecast --data data.npz --target hot --horizons 1 5 7
-    hotspot-repro sweep    --data data.npz --out results.jsonl
-    hotspot-repro serve    --data data.npz --registry models/
+    hotspot-repro generate  --towers 100 --weeks 18 --out data.npz
+    hotspot-repro analyze   --data data.npz
+    hotspot-repro forecast  --data data.npz --target hot --horizons 1 5 7
+    hotspot-repro sweep     --data data.npz --out results.jsonl
+    hotspot-repro serve     --data data.npz --registry models/
+    hotspot-repro lifecycle --data data.npz --registry models/
 
 ``generate`` writes a synthetic dataset; ``analyze`` prints the Sec. III
 dynamics summaries; ``forecast`` runs a focused comparison of all eight
@@ -14,7 +15,10 @@ models; ``sweep`` runs a configurable (model, t, h, w) grid and persists
 the result rows; ``serve`` trains and registers a model, then runs the
 online service — replaying the dataset hour-by-hour (or reading JSONL
 operations from stdin with ``--from-stdin``) and emitting hot-spot alert
-events as JSON lines on stdout.
+events as JSON lines on stdout.  ``lifecycle`` is ``serve`` with the
+model-lifecycle control plane attached: online drift detection,
+drift/cadence-triggered retraining, and champion/challenger promotion,
+all reported in the same JSONL event stream.
 """
 
 from __future__ import annotations
@@ -22,13 +26,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.analysis import dynamics_report
 from repro.core.experiment import ALL_MODEL_NAMES, SweepGrid, SweepRunner
+from repro.core.forecaster import MODEL_REGISTRY
 from repro.core.scoring import attach_scores
 from repro.data.store import load_dataset, save_dataset, save_result_table
 from repro.data.tensor import HOURS_PER_DAY
 from repro.imputation import DAEImputer, DAEImputerConfig, filter_sectors
+from repro.lifecycle import (
+    DriftConfig,
+    LifecycleController,
+    PromotionConfig,
+    RetrainConfig,
+)
 from repro.resilience import (
     CheckpointManager,
     ResilientHotSpotService,
@@ -143,6 +155,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _restore_ingestor(args: argparse.Namespace) -> tuple["object", int]:
+    """Recover serving state from a previous run's checkpoint directory.
+
+    Returns ``(ingestor, start_hour)`` — ``(None, 0)`` when not resuming
+    or when the directory holds no recoverable state.  Raises
+    :class:`ValueError` on flag misuse (``--resume`` without a
+    checkpoint directory).
+    """
+    if not args.resume:
+        return None, 0
+    if not args.checkpoint_dir:
+        raise ValueError("--resume requires --checkpoint-dir")
+    recovered = CheckpointManager.recover(args.checkpoint_dir)
+    if recovered.ingestor is None:
+        return None, 0
+    ingestor = recovered.ingestor
+    _info(
+        f"recovered {ingestor.hours_seen} hours from {args.checkpoint_dir} "
+        f"(snapshot at {recovered.snapshot_hour} h + "
+        f"{recovered.replayed} journal ticks)",
+        args.quiet,
+        sys.stderr,
+    )
+    return ingestor, ingestor.hours_seen
+
+
+def _replay_events(guarded, dataset, start_hour: int, end_day: int) -> int:
+    """Drive the guarded service over the dataset's hours, streaming
+    events as JSON lines on stdout.  Returns the alert count."""
+    kpis = dataset.kpis
+    alerts = 0
+    for hour in range(start_hour, end_day * HOURS_PER_DAY):
+        events = guarded.submit_tick(
+            kpis.values[:, hour, :],
+            kpis.missing[:, hour, :],
+            dataset.calendar[hour],
+            hour=hour,
+        )
+        for event in events:
+            if event.get("type") == "alert":
+                alerts += 1
+            # Flush per event: with stdout redirected the stdio
+            # buffer is block-buffered, and a kill would discard
+            # events for hours the WAL already acknowledged — the
+            # resume replays state, not emitted events, so anything
+            # buffered here would be lost for good.
+            print(json.dumps(event), flush=True)
+    return alerts
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Progress lines go to stderr: stdout is the JSON event stream.
     horizons = tuple(args.horizons)
@@ -191,23 +253,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # or start fresh.  The resilient engine/service wrappers are always
     # in place: malformed ticks quarantine instead of crashing the loop,
     # and a broken registry degrades instead of raising.
-    ingestor = None
-    start_hour = 0
-    if args.resume:
-        if not args.checkpoint_dir:
-            print("--resume requires --checkpoint-dir", file=sys.stderr)
-            return 1
-        recovered = CheckpointManager.recover(args.checkpoint_dir)
-        if recovered.ingestor is not None:
-            ingestor = recovered.ingestor
-            start_hour = ingestor.hours_seen
-            _info(
-                f"recovered {start_hour} hours from {args.checkpoint_dir} "
-                f"(snapshot at {recovered.snapshot_hour} h + "
-                f"{recovered.replayed} journal ticks)",
-                args.quiet,
-                sys.stderr,
-            )
+    try:
+        ingestor, start_hour = _restore_ingestor(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
     if ingestor is None:
         ingestor = StreamIngestor.for_dataset(dataset, w_max=max(args.window, 7))
     engine = ResilientPredictionEngine(
@@ -246,25 +296,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 0
 
         # Replay mode: drive the resilient service with the dataset's hours.
-        kpis = dataset.kpis
         end_day = n_days if args.max_days is None else min(args.max_days, n_days)
-        alerts = 0
-        for hour in range(start_hour, end_day * HOURS_PER_DAY):
-            events = guarded.submit_tick(
-                kpis.values[:, hour, :],
-                kpis.missing[:, hour, :],
-                dataset.calendar[hour],
-                hour=hour,
-            )
-            for event in events:
-                if event.get("type") == "alert":
-                    alerts += 1
-                # Flush per event: with stdout redirected the stdio
-                # buffer is block-buffered, and a kill would discard
-                # events for hours the WAL already acknowledged — the
-                # resume replays state, not emitted events, so anything
-                # buffered here would be lost for good.
-                print(json.dumps(event), flush=True)
+        alerts = _replay_events(guarded, dataset, start_hour, end_day)
         stats = guarded.stats()
         _info(
             f"replayed {end_day} days: {alerts} alerts, "
@@ -272,6 +305,143 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{stats['counters'].get('cache_misses', 0)} misses, "
             f"{stats['counters'].get('ticks_quarantined', 0)} quarantined, "
             f"{stats['counters'].get('degraded_predictions', 0)} degraded",
+            args.quiet,
+            sys.stderr,
+        )
+        return 0
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+
+
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    # Progress lines go to stderr: stdout is the JSON event stream.
+    try:
+        drift = DriftConfig(
+            reference_days=args.reference_days,
+            current_days=args.current_days,
+            alpha=args.drift_alpha,
+        )
+        retrain = RetrainConfig(
+            model=args.model,
+            target="hot",
+            horizon=args.horizon,
+            window=args.window,
+            n_estimators=args.estimators,
+            n_training_days=args.training_days,
+            base_seed=args.seed,
+            cadence_days=args.retrain_every,
+            min_days_between=args.min_retrain_gap,
+        )
+        promotion = PromotionConfig(
+            min_delta=args.promote_min_delta,
+            min_shadow_days=args.shadow_days,
+            max_shadow_days=args.max_shadow_days,
+            confirm_days=args.confirm_days,
+        )
+    except ValueError as error:
+        print(f"error: invalid lifecycle configuration: {error}", file=sys.stderr)
+        return 1
+    if args.top_k < 1:
+        print("--top-k must be >= 1", file=sys.stderr)
+        return 1
+
+    dataset = _prepare(args.data, args.impute_epochs, quiet=args.quiet, file=sys.stderr)
+    n_days = dataset.time_axis.n_days
+    if not 0 < args.train_day < n_days:
+        print(
+            f"--train-day {args.train_day} outside dataset range (0, {n_days})",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Bootstrap champion: trained once at --train-day like `serve`; the
+    # lifecycle controller takes over from there, minting versioned
+    # challengers out of the live ring.
+    runner = SweepRunner(
+        dataset,
+        target="hot",
+        n_estimators=args.estimators,
+        n_training_days=args.training_days,
+        seed=args.seed,
+    )
+    registry = ModelRegistry(args.registry)
+    train_and_register(
+        runner,
+        registry,
+        [args.model],
+        args.train_day,
+        (args.horizon,),
+        (args.window,),
+        overwrite=True,
+        n_jobs=args.jobs,
+    )
+    _info(f"registered champion under {registry.root}", args.quiet, sys.stderr)
+
+    try:
+        ingestor, start_hour = _restore_ingestor(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if ingestor is None:
+        # The ring must hold enough history for the drift windows and
+        # the retrain lookback, not just the serving window.
+        w_max = max(args.window, drift.total_days, retrain.lookback_days)
+        ingestor = StreamIngestor.for_dataset(dataset, w_max=w_max)
+    engine = ResilientPredictionEngine(
+        ingestor, registry, target="hot", model=args.model, window=args.window
+    )
+    service = HotSpotService(
+        engine,
+        ServeConfig(
+            horizons=(args.horizon,),
+            start_day=args.train_day,
+            top_k=args.top_k,
+            alert_threshold=args.alert_threshold,
+        ),
+    )
+    state_path = (
+        Path(args.checkpoint_dir) / "lifecycle.json" if args.checkpoint_dir else None
+    )
+    try:
+        controller = LifecycleController(
+            engine,
+            drift=drift,
+            retrain=retrain,
+            promotion=promotion,
+            state_path=state_path,
+            start_day=args.train_day,
+            n_jobs=args.jobs,
+        )
+    except ValueError as error:
+        print(f"error: invalid lifecycle configuration: {error}", file=sys.stderr)
+        return 1
+    service.add_day_hook(controller.on_day)
+
+    checkpoint = None
+    if args.checkpoint_dir:
+        checkpoint = CheckpointManager.for_ingestor(
+            args.checkpoint_dir, ingestor, snapshot_every=args.snapshot_every
+        )
+    guarded = ResilientHotSpotService(service, checkpoint=checkpoint)
+
+    try:
+        if args.from_stdin:
+            processed = guarded.run_jsonl(sys.stdin, sys.stdout)
+            _info(f"processed {processed} operations", args.quiet, sys.stderr)
+        else:
+            end_day = n_days if args.max_days is None else min(args.max_days, n_days)
+            alerts = _replay_events(guarded, dataset, start_hour, end_day)
+            _info(f"replayed {end_day} days: {alerts} alerts", args.quiet, sys.stderr)
+        counters = service.telemetry.stats()["counters"]
+        lifecycle = controller.stats()
+        _info(
+            f"lifecycle: phase={lifecycle['phase']} "
+            f"champion=v{lifecycle['champion_version'] or 0} "
+            f"{counters.get('events_drift', 0)} drift, "
+            f"{counters.get('events_retrain', 0)} retrains, "
+            f"{counters.get('events_promotion', 0)} promotions, "
+            f"{counters.get('events_rollback', 0)} rollbacks",
             args.quiet,
             sys.stderr,
         )
@@ -368,6 +538,62 @@ def build_parser() -> argparse.ArgumentParser:
                      help="restore state from --checkpoint-dir and continue "
                      "the replay from the recovered hour")
     srv.set_defaults(func=_cmd_serve)
+
+    lc = sub.add_parser(
+        "lifecycle",
+        parents=[common],
+        help="serve with drift monitoring and champion/challenger promotion",
+    )
+    lc.add_argument("--registry", required=True, help="model registry directory")
+    lc.add_argument("--model", choices=sorted(MODEL_REGISTRY), default="RF-F1",
+                    help="served (and retrained) model; must be trainable")
+    lc.add_argument("--train-day", type=int, default=60,
+                    help="day the bootstrap champion is trained at")
+    lc.add_argument("--window", type=int, default=7)
+    lc.add_argument("--horizon", type=int, default=1,
+                    help="forecast horizon of the managed cell")
+    lc.add_argument("--estimators", type=int, default=10)
+    lc.add_argument("--training-days", type=int, default=6)
+    lc.add_argument("--top-k", type=int, default=5,
+                    help="sectors alerted per refresh")
+    lc.add_argument("--alert-threshold", type=float, default=None,
+                    help="minimum forecast score to alert (default: top-k only)")
+    lc.add_argument("--max-days", type=int, default=None,
+                    help="replay at most this many days")
+    lc.add_argument("--retrain-every", type=int, default=0,
+                    help="fixed retraining cadence in days "
+                    "(0 = retrain on drift only)")
+    lc.add_argument("--min-retrain-gap", type=int, default=7,
+                    help="days that must pass between challenger fits")
+    lc.add_argument("--drift-alpha", type=float, default=0.01,
+                    help="KS significance level for the drift test")
+    lc.add_argument("--reference-days", type=int, default=14,
+                    help="days in the drift reference window")
+    lc.add_argument("--current-days", type=int, default=7,
+                    help="days in the drift current window")
+    lc.add_argument("--promote-min-delta", type=float, default=5.0,
+                    help="mean shadow ∆ (%% lift) required to promote")
+    lc.add_argument("--shadow-days", type=int, default=5,
+                    help="defined shadow days required before a "
+                    "promote/retire decision")
+    lc.add_argument("--max-shadow-days", type=int, default=14,
+                    help="shadow days after which an unpromoted "
+                    "challenger is retired")
+    lc.add_argument("--confirm-days", type=int, default=0,
+                    help="post-promotion watch days before a promotion "
+                    "is final (0 = no watch)")
+    lc.add_argument("--from-stdin", action="store_true",
+                    help="read JSONL operations from stdin instead of replaying")
+    lc.add_argument("--checkpoint-dir", default=None,
+                    help="write-ahead journal + snapshot directory (enables "
+                    "crash recovery; lifecycle state commits to "
+                    "lifecycle.json inside it)")
+    lc.add_argument("--snapshot-every", type=int, default=168,
+                    help="hours between state snapshots (default: one week)")
+    lc.add_argument("--resume", action="store_true",
+                    help="restore state from --checkpoint-dir and continue "
+                    "the replay from the recovered hour")
+    lc.set_defaults(func=_cmd_lifecycle)
     return parser
 
 

@@ -10,6 +10,8 @@ plus small metadata arrays.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -17,7 +19,13 @@ import numpy as np
 from repro.data.dataset import Dataset, SectorGeography
 from repro.data.tensor import KPITensor, TimeAxis
 
-__all__ = ["save_dataset", "load_dataset", "save_result_table", "load_result_table"]
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_result_table",
+    "load_result_table",
+    "write_json_atomic",
+]
 
 _OPTIONAL_FIELDS = (
     "score_hourly",
@@ -117,6 +125,36 @@ def load_dataset(path: str | Path) -> Dataset:
             calendar=archive["calendar"],
             **optional,
         )
+
+
+def write_json_atomic(path: str | Path, payload: dict, sync: bool = False) -> Path:
+    """Write *payload* as JSON via a temp file and :func:`os.replace`.
+
+    Readers see either the previous contents or the new ones, never a
+    torn file — the property the checkpoint metadata, model provenance
+    sidecars, and lifecycle state journal all rely on.  With *sync* the
+    temp file is fsync'd before the rename (crash-durable, one disk sync
+    per write).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            if sync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def save_result_table(rows: list[dict], path: str | Path) -> Path:

@@ -1,0 +1,40 @@
+"""Model lifecycle: drift monitoring, retraining, and promotion.
+
+The serving stack (``repro.serve``) answers *what is hot tomorrow*;
+this package answers *is the model that answers still the right one*.
+It is the online counterpart of the paper's Sec. V-A temporal-stability
+analysis, closed into a control loop:
+
+* :mod:`~repro.lifecycle.drift` — sliding-window two-sample KS tests
+  over daily score/KPI distributions, run once per completed day;
+* :mod:`~repro.lifecycle.retrain` — drift- or cadence-triggered
+  challenger fits straight from the ingestion ring, with deterministic
+  per-trigger-day seeds;
+* :mod:`~repro.lifecycle.shadow` — side-by-side champion/challenger
+  scoring with the paper's metrics (AP ψ, lift Λ) as live days resolve;
+* :mod:`~repro.lifecycle.promote` — the promotion policy and the
+  durable state machine (idle → shadow → confirm);
+* :mod:`~repro.lifecycle.controller` — the day hook tying it together,
+  journaling every transition through one atomic write per day for
+  crash consistency with the resilience WAL.
+"""
+
+from repro.lifecycle.controller import LifecycleController
+from repro.lifecycle.drift import DriftConfig, DriftMonitor
+from repro.lifecycle.promote import LifecycleState, PromotionConfig, PromotionPolicy
+from repro.lifecycle.retrain import RetrainConfig, RetrainScheduler, RingFeatureView
+from repro.lifecycle.shadow import ShadowEvaluator, ShadowResult
+
+__all__ = [
+    "DriftConfig",
+    "DriftMonitor",
+    "LifecycleController",
+    "LifecycleState",
+    "PromotionConfig",
+    "PromotionPolicy",
+    "RetrainConfig",
+    "RetrainScheduler",
+    "RingFeatureView",
+    "ShadowEvaluator",
+    "ShadowResult",
+]

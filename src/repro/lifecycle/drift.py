@@ -1,0 +1,213 @@
+"""Online distribution-drift detection over the serving stream.
+
+The paper's Sec. V-A temporal-stability analysis runs two-sample
+Kolmogorov–Smirnov tests over daily score distributions offline
+(:func:`repro.core.stability.temporal_stability`).  :class:`DriftMonitor`
+is the online counterpart: it maintains a sliding *reference* window and
+a sliding *current* window of per-day summaries — the day's sector score
+column plus per-sector per-KPI daily means — pulled straight from the
+:class:`~repro.serve.ingest.StreamIngestor` ring, and re-runs the same
+KS machinery (:func:`repro.stats.ks.ks_two_sample`) once per completed
+day.
+
+Drift fires when the score distribution of the current window rejects
+the reference window's at ``alpha``; the per-KPI marginal tests diagnose
+*which* channels moved (``affected_kpis``).  With ``kpi_quorum`` set,
+enough drifted KPI marginals also trigger on their own, catching input
+shifts the integrated score has not surfaced yet.
+
+Every summary is recomputed from ring state, so after a crash the
+monitor rebuilds bitwise-identically via :meth:`DriftMonitor.backfill`
+(the checkpoint layer restores the ring; no monitor state needs
+journaling).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.tensor import HOURS_PER_DAY
+from repro.serve.ingest import StreamIngestor
+from repro.stats.ks import ks_two_sample
+
+__all__ = ["DriftConfig", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Window geometry and decision thresholds for drift detection.
+
+    Attributes
+    ----------
+    reference_days:
+        Days in the (older) reference window.
+    current_days:
+        Days in the (newer) current window.  The two windows are
+        adjacent: with defaults, days ``t-20..t-7`` reference vs
+        ``t-6..t`` current.
+    alpha:
+        KS significance level for the score-distribution test (and the
+        per-KPI marginal tests).
+    min_samples:
+        Minimum sample size per side for a per-KPI marginal test to be
+        attempted (tiny samples make the asymptotic p-value meaningless).
+    kpi_quorum:
+        When set, drift also fires if at least this many KPI marginals
+        individually reject at ``alpha`` even though the score
+        distribution has not moved yet.  ``None`` (default) triggers on
+        the score test only; KPI results stay diagnostic.
+    """
+
+    reference_days: int = 14
+    current_days: int = 7
+    alpha: float = 0.01
+    min_samples: int = 8
+    kpi_quorum: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.reference_days < 1 or self.current_days < 1:
+            raise ValueError(
+                f"window days must be >= 1, got reference={self.reference_days}, "
+                f"current={self.current_days}"
+            )
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {self.min_samples}")
+        if self.kpi_quorum is not None and self.kpi_quorum < 1:
+            raise ValueError(f"kpi_quorum must be >= 1, got {self.kpi_quorum}")
+
+    @property
+    def total_days(self) -> int:
+        return self.reference_days + self.current_days
+
+
+class DriftMonitor:
+    """Sliding-window KS drift detector fed one completed day at a time."""
+
+    def __init__(self, config: DriftConfig | None = None) -> None:
+        self.config = config or DriftConfig()
+        # (day, scores (n,), kpi_means (n, l)) — newest last.
+        self._days: deque[tuple[int, np.ndarray, np.ndarray]] = deque(
+            maxlen=self.config.total_days
+        )
+        self.last_day_observed = -1
+        self.checks_run = 0
+
+    # ------------------------------------------------------------ observe
+    @staticmethod
+    def day_summary(
+        ingestor: StreamIngestor, day: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(scores, per-KPI daily means) for a completed *day*.
+
+        Scores come from the full daily history; KPI means are averaged
+        from the ring's raw hourly values with missing entries masked
+        (a sector-KPI pair fully dark for the day yields NaN and is
+        dropped at test time).
+        """
+        if not 0 <= day <= ingestor.last_complete_day:
+            raise ValueError(
+                f"day {day} is not a completed day "
+                f"(last complete: {ingestor.last_complete_day})"
+            )
+        scores = np.array(ingestor.score_daily[:, day], dtype=np.float64)
+        window = ingestor.hourly_window(
+            day * HOURS_PER_DAY, (day + 1) * HOURS_PER_DAY
+        )
+        values, missing = window["values"], window["missing"]
+        counts = (~missing).sum(axis=1)
+        sums = np.where(missing, 0.0, values).sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            kpi_means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        return scores, kpi_means
+
+    def observe_day(self, ingestor: StreamIngestor, day: int) -> bool:
+        """Push *day*'s summary into the sliding windows (idempotent).
+
+        Returns True when the day was newly observed, False when it had
+        already been seen (replayed ticks after a recovery).
+        """
+        if day <= self.last_day_observed:
+            return False
+        scores, kpi_means = self.day_summary(ingestor, day)
+        self._days.append((day, scores, kpi_means))
+        self.last_day_observed = day
+        return True
+
+    def backfill(self, ingestor: StreamIngestor, through_day: int) -> int:
+        """Rebuild the windows from ring state after a recovery.
+
+        Observes the last ``total_days`` days ending at *through_day*,
+        clamped to the days the ring fully retains: after a mid-day
+        crash the oldest window day may be partially evicted, but the
+        deque realigns bitwise with a live monitor as soon as the next
+        day completes (capacity >= total_days * 24, which the lifecycle
+        controller validates).  Returns the number of days observed.
+        """
+        first = max(0, through_day - self.config.total_days + 1)
+        earliest_retained = ingestor.hours_seen - ingestor.capacity
+        if earliest_retained > 0:
+            first = max(first, -(-earliest_retained // HOURS_PER_DAY))
+        observed = 0
+        for day in range(first, through_day + 1):
+            observed += int(self.observe_day(ingestor, day))
+        return observed
+
+    @property
+    def ready(self) -> bool:
+        """True once both windows are fully populated."""
+        return len(self._days) == self.config.total_days
+
+    # -------------------------------------------------------------- check
+    def check(self, t_day: int) -> dict | None:
+        """Run the KS tests for the windows ending at *t_day*.
+
+        Returns the drift record's fields (statistic, p-value, window
+        geometry, affected KPIs) when drift is detected, None otherwise
+        (including while the windows are still filling).  The caller
+        turns the fields into a ``{"event": "drift", ...}`` record.
+        """
+        config = self.config
+        if not self.ready:
+            return None
+        self.checks_run += 1
+        entries = list(self._days)
+        reference = entries[: config.reference_days]
+        current = entries[config.reference_days:]
+        ref_scores = np.concatenate([scores for _, scores, _ in reference])
+        cur_scores = np.concatenate([scores for _, scores, _ in current])
+        score_test = ks_two_sample(ref_scores, cur_scores)
+
+        n_kpis = entries[0][2].shape[1]
+        affected: list[int] = []
+        kpi_pvalues: dict[int, float] = {}
+        for kpi in range(n_kpis):
+            ref_kpi = np.concatenate([means[:, kpi] for _, _, means in reference])
+            cur_kpi = np.concatenate([means[:, kpi] for _, _, means in current])
+            ref_kpi = ref_kpi[~np.isnan(ref_kpi)]
+            cur_kpi = cur_kpi[~np.isnan(cur_kpi)]
+            if ref_kpi.size < config.min_samples or cur_kpi.size < config.min_samples:
+                continue
+            kpi_test = ks_two_sample(ref_kpi, cur_kpi)
+            kpi_pvalues[kpi] = kpi_test.pvalue
+            if kpi_test.rejects_null(config.alpha):
+                affected.append(kpi)
+
+        drifted = score_test.rejects_null(config.alpha)
+        if config.kpi_quorum is not None and len(affected) >= config.kpi_quorum:
+            drifted = True
+        if not drifted:
+            return None
+        return {
+            "t_day": int(t_day),
+            "statistic": float(score_test.statistic),
+            "pvalue": float(score_test.pvalue),
+            "alpha": float(config.alpha),
+            "reference_days": int(config.reference_days),
+            "current_days": int(config.current_days),
+            "affected_kpis": [int(k) for k in affected],
+        }

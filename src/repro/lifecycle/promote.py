@@ -1,0 +1,280 @@
+"""Champion/challenger promotion: decision policy and durable state.
+
+Promotion is a three-phase state machine over one served ``(model,
+horizon, window)`` cell:
+
+* ``idle`` — the champion serves alone; drift or cadence may mint a
+  challenger (phase → ``shadow``);
+* ``shadow`` — the challenger is scored side-by-side with the champion
+  on every freshly resolved day; once enough *defined* shadow days
+  accumulate, :class:`PromotionPolicy` either promotes it (mean shadow
+  ∆ ≥ ``min_delta``, phase → ``confirm`` or ``idle``) or — after
+  ``max_shadow_days`` resolved days without a win — retires it;
+* ``confirm`` — optional post-promotion watch: the *demoted* champion
+  keeps shadowing the freshly promoted one, and if it still beats the
+  new champion (mean ∆ of old-over-new > ``rollback_delta``) the
+  promotion is rolled back to the previous version.
+
+:class:`LifecycleState` is the durable half: a JSON-able record of the
+machine (phase, champion/challenger versions, shadow rows, the
+monotonic version counter, and the last processed day's event list)
+written atomically via :func:`repro.data.store.write_json_atomic` —
+typically into the resilience checkpoint directory
+(:meth:`~repro.resilience.checkpoint.CheckpointManager.state_path`).
+Every per-day lifecycle transition commits in **one** atomic write, so
+a crash at any point during retrain/promotion leaves either the old
+state (the day is deterministically re-processed on recovery) or the
+new one (the recorded events are re-emitted verbatim); there is no
+intermediate to recover from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.store import write_json_atomic
+
+__all__ = ["PromotionConfig", "PromotionPolicy", "LifecycleState"]
+
+#: Phases of the promotion state machine.
+PHASES = ("idle", "shadow", "confirm")
+
+
+@dataclass(frozen=True)
+class PromotionConfig:
+    """When a shadowed challenger replaces the champion.
+
+    Attributes
+    ----------
+    min_delta:
+        Minimum mean shadow ∆ (percent relative lift improvement over
+        the champion) required to promote.
+    min_shadow_days:
+        Defined (∆ computable) shadow days required before any
+        promote/retire decision is taken.
+    max_shadow_days:
+        Resolved shadow days after which a challenger that has not
+        earned promotion is retired (phase back to ``idle``, the next
+        trigger may mint a fresh one).
+    confirm_days:
+        Post-promotion watch window: the demoted champion shadows the
+        new one for this many defined days before the promotion is
+        confirmed.  ``0`` disables the watch (promotions are final).
+    rollback_delta:
+        During the confirm phase, mean ∆ of the *old* champion over the
+        *new* one above this threshold rolls the promotion back.
+    min_days_between_promotions:
+        Hysteresis: a new promotion is suppressed until this many days
+        passed since the last one (rollbacks are exempt — a bad
+        champion must not be protected by its own promotion).
+    """
+
+    min_delta: float = 5.0
+    min_shadow_days: int = 5
+    max_shadow_days: int = 14
+    confirm_days: int = 0
+    rollback_delta: float = 0.0
+    min_days_between_promotions: int = 7
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.min_delta):
+            raise ValueError(f"min_delta must be finite, got {self.min_delta}")
+        if self.min_shadow_days < 1:
+            raise ValueError(
+                f"min_shadow_days must be >= 1, got {self.min_shadow_days}"
+            )
+        if self.max_shadow_days < self.min_shadow_days:
+            raise ValueError(
+                f"max_shadow_days ({self.max_shadow_days}) must be >= "
+                f"min_shadow_days ({self.min_shadow_days})"
+            )
+        if self.confirm_days < 0:
+            raise ValueError(f"confirm_days must be >= 0, got {self.confirm_days}")
+        if self.min_days_between_promotions < 1:
+            raise ValueError(
+                f"min_days_between_promotions must be >= 1, got "
+                f"{self.min_days_between_promotions}"
+            )
+
+
+class PromotionPolicy:
+    """Pure decision logic over accumulated shadow rows.
+
+    The policy never touches the registry or the engine; it only turns
+    ``(rows, t_day, last_promotion_day)`` into a verdict.  Keeping it
+    side-effect free is what makes lifecycle replay deterministic: the
+    same rows always yield the same decision.
+    """
+
+    def __init__(self, config: PromotionConfig | None = None) -> None:
+        self.config = config or PromotionConfig()
+
+    @staticmethod
+    def mean_delta(rows: list[dict]) -> float:
+        """Mean of the defined ∆ values in *rows* (NaN when none)."""
+        deltas = [row["delta"] for row in rows if np.isfinite(row["delta"])]
+        return float(np.mean(deltas)) if deltas else float("nan")
+
+    @staticmethod
+    def defined_days(rows: list[dict]) -> int:
+        return sum(1 for row in rows if np.isfinite(row["delta"]))
+
+    def decide_shadow(
+        self, rows: list[dict], t_day: int, last_promotion_day: int
+    ) -> str | None:
+        """Verdict for a challenger in shadow: promote / retire / keep.
+
+        Returns ``"promote"``, ``"retire"``, or ``None`` (keep
+        shadowing).  A challenger that exhausts ``max_shadow_days``
+        without enough defined days — or with a mean ∆ below the bar —
+        is retired rather than left shadowing forever.
+        """
+        config = self.config
+        defined = self.defined_days(rows)
+        exhausted = len(rows) >= config.max_shadow_days
+        if defined < config.min_shadow_days:
+            return "retire" if exhausted else None
+        held = (
+            last_promotion_day >= 0
+            and t_day - last_promotion_day < config.min_days_between_promotions
+        )
+        if not held and self.mean_delta(rows) >= config.min_delta:
+            return "promote"
+        return "retire" if exhausted else None
+
+    def decide_confirm(self, rows: list[dict]) -> str | None:
+        """Verdict for a fresh promotion under watch: rollback / confirm.
+
+        *rows* score the **demoted** champion as the challenger against
+        the newly promoted model, so a positive ∆ means the old model
+        still wins.  Returns ``"rollback"``, ``"confirm"``, or ``None``
+        (keep watching).
+        """
+        config = self.config
+        if config.confirm_days == 0:
+            return "confirm"
+        if self.defined_days(rows) < config.confirm_days:
+            return None
+        if self.mean_delta(rows) > config.rollback_delta:
+            return "rollback"
+        return "confirm"
+
+
+@dataclass
+class LifecycleState:
+    """Durable promotion-machine state, committed one atomic write per day.
+
+    Attributes
+    ----------
+    phase:
+        ``"idle"``, ``"shadow"``, or ``"confirm"``.
+    champion_version:
+        Registry version currently served (``None`` = the unversioned
+        bootstrap entry).
+    previous_version:
+        Rollback target while in ``confirm`` (the demoted champion).
+    challenger_version, challenger_trained_day:
+        The shadowed challenger and its (deterministic-seed) trigger day.
+    version_counter:
+        Monotonic source of registry version numbers.  Versions are
+        derived from this counter — **not** from the registry's on-disk
+        maximum — so a crash that orphans a saved archive re-mints the
+        *same* number on re-processing and overwrites it with identical
+        content instead of leaking a stray version.
+    last_retrain_day, last_promotion_day:
+        Hysteresis anchors for the retrain and promotion policies.
+    last_day_processed, last_day_events:
+        The commit record: when a recovered stream re-processes day
+        ``last_day_processed`` (its tick was applied but never
+        journaled), the recorded events are re-emitted verbatim instead
+        of re-deciding — the alert/event stream after a crash matches
+        the uninterrupted run exactly.
+    last_day_pre_champion:
+        The champion that was serving while day ``last_day_processed``
+        was being processed (alerts for a completing day are computed
+        *before* the day hooks run, so a promotion takes effect one tick
+        later).  On recovery, if that day's tick is about to be
+        re-processed, the engine is pinned to this version so the
+        re-computed alert matches the original bitwise; the re-emit path
+        then re-applies the committed pins, exactly as the live
+        transition did.
+    shadow_rows, confirm_rows:
+        Resolved :meth:`~repro.lifecycle.shadow.ShadowResult.as_row`
+        dicts for the active shadow/confirm window (floats round-trip
+        exactly through JSON, so recovered decisions are bitwise).
+    """
+
+    phase: str = "idle"
+    champion_version: int | None = None
+    previous_version: int | None = None
+    challenger_version: int | None = None
+    challenger_trained_day: int = -1
+    version_counter: int = 0
+    last_retrain_day: int = -1
+    last_promotion_day: int = -1
+    last_day_processed: int = -1
+    last_day_pre_champion: int | None = None
+    shadow_rows: list[dict] = field(default_factory=list)
+    confirm_rows: list[dict] = field(default_factory=list)
+    last_day_events: list[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise ValueError(f"phase must be one of {PHASES}, got {self.phase!r}")
+
+    # ------------------------------------------------------------ persist
+    def as_json(self) -> dict:
+        return {
+            "phase": self.phase,
+            "champion_version": self.champion_version,
+            "previous_version": self.previous_version,
+            "challenger_version": self.challenger_version,
+            "challenger_trained_day": self.challenger_trained_day,
+            "version_counter": self.version_counter,
+            "last_retrain_day": self.last_retrain_day,
+            "last_promotion_day": self.last_promotion_day,
+            "last_day_processed": self.last_day_processed,
+            "last_day_pre_champion": self.last_day_pre_champion,
+            "shadow_rows": self.shadow_rows,
+            "confirm_rows": self.confirm_rows,
+            "last_day_events": self.last_day_events,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "LifecycleState":
+        def _opt(name: str) -> int | None:
+            value = payload.get(name)
+            return None if value is None else int(value)
+
+        return cls(
+            phase=str(payload.get("phase", "idle")),
+            champion_version=_opt("champion_version"),
+            previous_version=_opt("previous_version"),
+            challenger_version=_opt("challenger_version"),
+            challenger_trained_day=int(payload.get("challenger_trained_day", -1)),
+            version_counter=int(payload.get("version_counter", 0)),
+            last_retrain_day=int(payload.get("last_retrain_day", -1)),
+            last_promotion_day=int(payload.get("last_promotion_day", -1)),
+            last_day_processed=int(payload.get("last_day_processed", -1)),
+            last_day_pre_champion=_opt("last_day_pre_champion"),
+            shadow_rows=list(payload.get("shadow_rows", [])),
+            confirm_rows=list(payload.get("confirm_rows", [])),
+            last_day_events=list(payload.get("last_day_events", [])),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically persist the state (the per-day commit point)."""
+        return write_json_atomic(path, self.as_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LifecycleState | None":
+        """Load persisted state; None when *path* does not exist."""
+        import json
+
+        path = Path(path)
+        if not path.exists():
+            return None
+        return cls.from_json(json.loads(path.read_text(encoding="utf-8")))

@@ -1,0 +1,192 @@
+"""Challenger retraining from the live ring buffer.
+
+:class:`RetrainScheduler` decides *when* a challenger is due (drift
+signal or fixed cadence, with a hysteresis gap between fits) and *how*
+it is trained: the rolling training window is assembled directly from
+the :class:`~repro.serve.ingest.StreamIngestor` ring through
+:class:`RingFeatureView` — the thin adapter that satisfies the batch
+:meth:`~repro.core.forecaster.HotSpotForecaster.fit` protocol
+(``window()`` + ``n_hours``) — so the challenger sees bitwise the same
+Eq. 5/Eq. 7 design matrix a batch refit over the same days would (the
+ingestor's parity contract).
+
+Determinism: the challenger's seed is derived from the trigger day with
+the same CRC32 scheme :class:`~repro.core.experiment.SweepRunner` uses
+for sweep cells, and forest fits are bitwise-identical for any
+``n_jobs`` (the PR 2 guarantee) — so a crash-and-reprocess, or a replay
+with a different worker count, mints an identical challenger.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.forecaster import MODEL_REGISTRY, HotSpotForecaster, make_model
+from repro.core.labels import become_hot_labels
+from repro.serve.ingest import StreamIngestor
+
+__all__ = ["RetrainConfig", "RingFeatureView", "RetrainScheduler"]
+
+
+class RingFeatureView:
+    """Adapter exposing the ring as a batch-compatible feature tensor.
+
+    :meth:`HotSpotForecaster.fit` only needs ``window(t_day, w)`` and
+    ``n_hours``; both map one-to-one onto the ingestor.  A window that
+    was already evicted from the ring (or contains missing values, e.g.
+    gap-filled dark hours) raises — the scheduler reports that as a
+    failed retrain rather than training on corrupt input.
+    """
+
+    def __init__(self, ingestor: StreamIngestor) -> None:
+        self._ingestor = ingestor
+
+    @property
+    def n_hours(self) -> int:
+        return self._ingestor.hours_seen
+
+    def window(self, t_day: int, w_days: int) -> np.ndarray:
+        return self._ingestor.feature_window(t_day, w_days)
+
+
+@dataclass(frozen=True)
+class RetrainConfig:
+    """What a challenger is and when one is due.
+
+    Attributes
+    ----------
+    model:
+        Trainable model name (one of :data:`MODEL_REGISTRY`); baselines
+        are stateless and never retrain.
+    target:
+        ``"hot"`` or ``"become"`` — the labels the challenger fits.
+    horizon, window:
+        The served cell's ``h`` and ``w``.
+    n_estimators, n_training_days:
+        Forest size and Eq. 7 training-day stack depth.
+    base_seed:
+        Master seed the per-trigger-day challenger seeds derive from.
+    cadence_days:
+        Fixed retraining cadence; 0 disables cadence triggers (drift
+        only).
+    min_days_between:
+        Hysteresis: a new retrain (drift- or cadence-triggered) is
+        suppressed until this many days passed since the last one.
+    """
+
+    model: str = "RF-F1"
+    target: str = "hot"
+    horizon: int = 1
+    window: int = 7
+    n_estimators: int = 10
+    n_training_days: int = 6
+    base_seed: int = 0
+    cadence_days: int = 0
+    min_days_between: int = 7
+
+    def __post_init__(self) -> None:
+        if self.model not in MODEL_REGISTRY:
+            raise ValueError(
+                f"model must be trainable ({sorted(MODEL_REGISTRY)}), "
+                f"got {self.model!r}"
+            )
+        if self.target not in ("hot", "become"):
+            raise ValueError(f"target must be 'hot' or 'become', got {self.target!r}")
+        if self.horizon < 1 or self.window < 1:
+            raise ValueError(
+                f"horizon and window must be >= 1, got h={self.horizon}, "
+                f"w={self.window}"
+            )
+        if self.n_estimators < 1 or self.n_training_days < 1:
+            raise ValueError("n_estimators and n_training_days must be >= 1")
+        if self.cadence_days < 0:
+            raise ValueError(f"cadence_days must be >= 0, got {self.cadence_days}")
+        if self.min_days_between < 1:
+            raise ValueError(
+                f"min_days_between must be >= 1, got {self.min_days_between}"
+            )
+
+    @property
+    def lookback_days(self) -> int:
+        """Days of ring history one fit reaches back from its trigger day."""
+        return self.n_training_days + self.horizon + self.window - 1
+
+
+class RetrainScheduler:
+    """Trigger policy + ring-backed challenger fitting."""
+
+    def __init__(self, config: RetrainConfig | None = None) -> None:
+        self.config = config or RetrainConfig()
+        self.fits = 0
+
+    # ------------------------------------------------------------ trigger
+    def seed_for(self, t_day: int) -> int:
+        """Deterministic challenger seed for a retrain triggered at *t_day*.
+
+        CRC32 (not ``hash()``) so the seed — and with it the fitted
+        forest — is stable across processes and ``--jobs`` settings,
+        mirroring :meth:`SweepRunner._cell_seed`.
+        """
+        config = self.config
+        key = (
+            f"{config.base_seed}|retrain|{config.model}|{t_day}"
+            f"|{config.horizon}|{config.window}"
+        ).encode()
+        return zlib.crc32(key) % (2**31)
+
+    def should_retrain(
+        self, t_day: int, drifted: bool, last_retrain_day: int
+    ) -> str | None:
+        """The trigger reason for a retrain at *t_day*, or None.
+
+        ``"drift"`` wins over ``"cadence"`` when both apply; either is
+        suppressed inside the ``min_days_between`` hysteresis window.
+        """
+        config = self.config
+        if last_retrain_day >= 0 and t_day - last_retrain_day < config.min_days_between:
+            return None
+        if drifted:
+            return "drift"
+        if config.cadence_days > 0 and (
+            last_retrain_day < 0 or t_day - last_retrain_day >= config.cadence_days
+        ):
+            return "cadence"
+        return None
+
+    # ---------------------------------------------------------------- fit
+    def fit_challenger(
+        self, ingestor: StreamIngestor, t_day: int, n_jobs: int | None = 1
+    ) -> HotSpotForecaster:
+        """Fit a challenger at *t_day* from the rolling ring window.
+
+        Raises :class:`ValueError` when the required window does not fit
+        (too early in the stream, evicted from the ring, or containing
+        missing/gap-filled hours); the controller turns that into a
+        ``retrain_failed`` event and tries again on the next trigger.
+        """
+        config = self.config
+        if t_day > ingestor.last_complete_day:
+            raise ValueError(
+                f"cannot retrain at day {t_day}: last complete day is "
+                f"{ingestor.last_complete_day}"
+            )
+        features = RingFeatureView(ingestor)
+        if config.target == "hot":
+            targets = np.asarray(ingestor.labels_daily, dtype=np.int64)
+        else:
+            targets = become_hot_labels(
+                ingestor.score_daily, ingestor.config.hotspot_threshold
+            )
+        model = make_model(
+            config.model,
+            n_estimators=config.n_estimators,
+            n_training_days=config.n_training_days,
+            random_state=self.seed_for(t_day),
+            n_jobs=n_jobs,
+        )
+        model.fit(features, targets, t_day, config.horizon, config.window)
+        self.fits += 1
+        return model

@@ -58,6 +58,7 @@ from typing import IO, Iterator
 import numpy as np
 
 from repro.core.scoring import ScoreConfig
+from repro.data.store import write_json_atomic
 from repro.serve.ingest import StreamIngestor
 
 __all__ = ["TickJournal", "CheckpointManager", "RecoveredState"]
@@ -337,25 +338,20 @@ class CheckpointManager:
 
     def _write_meta(self, meta: dict) -> None:
         """Atomically persist *meta* as ``meta.json`` (temp + replace)."""
-        path = self.directory / _META_NAME
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=f".{_META_NAME}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(meta, handle, indent=2)
-                if self.sync:
-                    handle.flush()
-                    os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        write_json_atomic(self.directory / _META_NAME, meta, sync=self.sync)
 
     # ------------------------------------------------------------- paths
+    def state_path(self, name: str) -> Path:
+        """Path for an auxiliary state file colocated with the journal.
+
+        The lifecycle controller keeps its promotion state machine
+        (``lifecycle.json``, written via
+        :func:`repro.data.store.write_json_atomic`) here so that the
+        WAL, the snapshots, and the champion/challenger bookkeeping
+        recover from the same directory as one consistent unit.
+        """
+        return self.directory / name
+
     def _segment_path(self, start_hour: int) -> Path:
         return self.directory / f"wal-{start_hour:08d}.log"
 

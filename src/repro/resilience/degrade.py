@@ -78,6 +78,16 @@ class ResilientPredictionEngine(PredictionEngine):
         # (model, horizon, window) -> fallback calls left before retry.
         self._suppress: dict[tuple[str, int, int], int] = {}
 
+    def invalidate(self) -> None:
+        """Drop cached forecasts *and* the last-good fallback snapshots.
+
+        A lifecycle promotion swaps the served model version; keeping
+        the old champion's last-good scores around would let a degraded
+        tick silently serve the demoted model's forecasts.
+        """
+        super().invalidate()
+        self._last_good.clear()
+
     # --------------------------------------------------------- degradation
     def _compute_entry(
         self, model_name: str, t_day: int, horizon: int, window: int

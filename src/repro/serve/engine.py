@@ -7,12 +7,15 @@ and answers ``predict(horizon)`` by assembling the Eq. 5 feature window
 directly from the ring buffers — no batch feature-tensor construction,
 no re-running of the offline pipeline.
 
-Predictions are cached per ``(t_day, model, horizon, window)``.  Within
-a day the ring state backing a forecast cannot change (forecasts are
-made from *complete* days), so repeated queries are O(1) dictionary
-hits; the whole cache is invalidated when the next day completes.  That
-is the cache-invalidation rule: **day rollover clears everything**,
-nothing else does.
+Predictions are cached per ``(t_day, model, model-version, horizon,
+window)``.  Within a day the ring state backing a forecast cannot
+change (forecasts are made from *complete* days), so repeated queries
+are O(1) dictionary hits.  Two things invalidate: **day rollover clears
+everything**, and **an active-version swap**
+(:meth:`PredictionEngine.set_active_version`, or an explicit
+:meth:`~PredictionEngine.invalidate`) clears everything too — the
+version lives in the cache key as well, so even a missed invalidation
+can never serve a stale champion's forecasts for a promoted model.
 """
 
 from __future__ import annotations
@@ -67,7 +70,37 @@ class PredictionEngine:
         self.default_model = model
         self.default_window = window
         self.telemetry = telemetry or ServeTelemetry()
-        self._cache: dict[tuple[int, str, int, int], np.ndarray] = {}
+        self._cache: dict[tuple[int, str, int | None, int, int], np.ndarray] = {}
+        # Lifecycle pins: model name -> registry version served for it.
+        # Unpinned names resolve to the unversioned registry entry, the
+        # PR 1 behaviour.
+        self._active_versions: dict[str, int | None] = {}
+
+    # ---------------------------------------------------------- versioning
+    def active_version(self, model_name: str | None = None) -> int | None:
+        """The registry version currently served for *model_name*."""
+        return self._active_versions.get(model_name or self.default_model)
+
+    def set_active_version(self, model_name: str, version: int | None) -> None:
+        """Pin *model_name* to a registry *version* and drop the cache.
+
+        ``None`` unpins back to the unversioned entry.  The cache clear
+        makes the swap take effect immediately — within the same day —
+        rather than at the next rollover.
+        """
+        if version is not None and version < 1:
+            raise ValueError(f"version must be >= 1 or None, got {version}")
+        previous = self._active_versions.get(model_name)
+        self._active_versions[model_name] = version
+        if previous != version:
+            self.invalidate()
+            self.telemetry.inc("model_swaps")
+
+    def invalidate(self) -> None:
+        """Explicitly drop every cached forecast."""
+        if self._cache:
+            self.telemetry.inc("cache_invalidations")
+        self._cache.clear()
 
     # ------------------------------------------------------------- ingest
     def ingest_hour(
@@ -114,7 +147,9 @@ class PredictionEngine:
         t_day = self.t_day
         if t_day < 0:
             raise RuntimeError("no complete day ingested yet; cannot forecast")
-        cache_key = (t_day, model_name, horizon, window)
+        cache_key = (
+            t_day, model_name, self._active_versions.get(model_name), horizon, window
+        )
         scores = self._cache.get(cache_key)
         if scores is None:
             self.telemetry.inc("cache_misses")
@@ -145,7 +180,10 @@ class PredictionEngine:
     def _compute(
         self, model_name: str, t_day: int, horizon: int, window: int
     ) -> np.ndarray:
-        key = ModelKey(self.target, model_name, horizon, window)
+        key = ModelKey(
+            self.target, model_name, horizon, window,
+            version=self._active_versions.get(model_name),
+        )
         model = self.registry.get(key)
         if isinstance(model, BaselineModel):
             return np.asarray(

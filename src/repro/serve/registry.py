@@ -35,6 +35,7 @@ from repro.core.baselines import (
     TrendModel,
 )
 from repro.core.forecaster import HotSpotForecaster
+from repro.data.store import write_json_atomic
 from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.regression_tree import RegressionTree
@@ -73,38 +74,69 @@ class ModelKey:
         Prediction horizon ``h`` (days) baked into the trained model.
     window:
         Past window ``w`` (days) the model consumes.
+    version:
+        Optional lifecycle version.  ``None`` is the classic unversioned
+        entry (PR 1 serving); versioned entries carry a monotonically
+        increasing integer assigned by :meth:`ModelRegistry.save_version`
+        and coexist with the unversioned one on disk.
     """
 
     target: str
     model: str
     horizon: int
     window: int
+    version: int | None = None
 
     def __post_init__(self) -> None:
         if self.horizon < 1 or self.window < 1:
             raise ValueError(
                 f"horizon and window must be >= 1, got h={self.horizon}, w={self.window}"
             )
+        if self.version is not None and self.version < 1:
+            raise ValueError(f"version must be >= 1, got {self.version}")
         for field_name in ("target", "model"):
             value = getattr(self, field_name)
             if "__" in value or "/" in value:
                 raise ValueError(f"{field_name} must not contain '__' or '/': {value!r}")
 
     @property
+    def base(self) -> "ModelKey":
+        """The unversioned key this (possibly versioned) key belongs to."""
+        if self.version is None:
+            return self
+        return ModelKey(self.target, self.model, self.horizon, self.window)
+
+    @property
+    def stem(self) -> str:
+        parts = f"{self.target}__{self.model}__h{self.horizon:03d}__w{self.window:03d}"
+        if self.version is not None:
+            parts += f"__v{self.version:04d}"
+        return parts
+
+    @property
     def filename(self) -> str:
-        return (
-            f"{self.target}__{self.model}__h{self.horizon:03d}__w{self.window:03d}.npz"
-        )
+        return f"{self.stem}.npz"
 
     @classmethod
     def from_filename(cls, name: str) -> "ModelKey":
         stem = name.removesuffix(".npz")
-        target, model, h_part, w_part = stem.split("__")
+        parts = stem.split("__")
+        if len(parts) == 5:
+            target, model, h_part, w_part, v_part = parts
+            if not v_part.startswith("v"):
+                raise ValueError(f"bad version segment in registry name {name!r}")
+            version: int | None = int(v_part.removeprefix("v"))
+        elif len(parts) == 4:
+            target, model, h_part, w_part = parts
+            version = None
+        else:
+            raise ValueError(f"unrecognised registry name {name!r}")
         return cls(
             target=target,
             model=model,
             horizon=int(h_part.removeprefix("h")),
             window=int(w_part.removeprefix("w")),
+            version=version,
         )
 
 
@@ -384,6 +416,96 @@ class ModelRegistry:
         while len(self._warm) > self.max_warm:
             self._warm.popitem(last=False)
             self.evictions += 1
+
+    # ------------------------------------------------------------ versions
+    def provenance_path_for(self, key: ModelKey) -> Path:
+        return self.root / f"{key.stem}.provenance.json"
+
+    def versions(self, key: ModelKey) -> list[int]:
+        """Sorted on-disk version numbers registered under *key*'s base."""
+        base = key.base
+        out = []
+        pattern = f"{base.stem}__v*.npz"
+        if not self.root.is_dir():
+            return out
+        for path in self.root.glob(pattern):
+            try:
+                candidate = ModelKey.from_filename(path.name)
+            except (ValueError, TypeError):
+                continue
+            if candidate.version is not None and candidate.base == base:
+                out.append(candidate.version)
+        return sorted(out)
+
+    def next_version(self, key: ModelKey) -> int:
+        """The next unused (monotonically increasing) version for *key*."""
+        versions = self.versions(key)
+        return versions[-1] + 1 if versions else 1
+
+    def save_version(
+        self,
+        key: ModelKey,
+        model,
+        provenance: dict | None = None,
+        version: int | None = None,
+    ) -> ModelKey:
+        """Persist *model* as a new (or explicit) version of *key*.
+
+        Without *version* the next free number is assigned; passing one
+        makes the write idempotent — a lifecycle controller re-running a
+        deterministic retrain after a crash overwrites the orphaned
+        archive with identical content instead of minting a stray
+        version.  The *provenance* dict (train window, seed, feature
+        set, parent version, ...) is persisted atomically alongside the
+        archive as ``<stem>.provenance.json``.  Returns the versioned
+        key.
+        """
+        resolved = self.next_version(key) if version is None else int(version)
+        versioned = ModelKey(
+            key.target, key.model, key.horizon, key.window, version=resolved
+        )
+        self.save(versioned, model)
+        record = dict(provenance or {})
+        record.setdefault("version", resolved)
+        record.setdefault("target", key.target)
+        record.setdefault("model", key.model)
+        record.setdefault("horizon", key.horizon)
+        record.setdefault("window", key.window)
+        write_json_atomic(self.provenance_path_for(versioned), record)
+        return versioned
+
+    def provenance(self, key: ModelKey) -> dict | None:
+        """The provenance sidecar for *key*, or None when absent."""
+        path = self.provenance_path_for(key)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as error:
+            raise RegistryCorruptError(
+                f"corrupt provenance sidecar for {key} at '{path}': {error}"
+            ) from error
+
+    def latest(self, key: ModelKey) -> ModelKey | None:
+        """The highest-versioned key registered under *key*'s base."""
+        versions = self.versions(key)
+        if not versions:
+            return None
+        base = key.base
+        return ModelKey(
+            base.target, base.model, base.horizon, base.window, version=versions[-1]
+        )
+
+    def history(self, key: ModelKey) -> list[tuple[ModelKey, dict | None]]:
+        """Every version of *key*'s base with its provenance, ascending."""
+        base = key.base
+        out: list[tuple[ModelKey, dict | None]] = []
+        for version in self.versions(key):
+            versioned = ModelKey(
+                base.target, base.model, base.horizon, base.window, version=version
+            )
+            out.append((versioned, self.provenance(versioned)))
+        return out
 
     def evict_all(self) -> None:
         """Drop every warm model (they reload from disk on demand)."""

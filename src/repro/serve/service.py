@@ -72,10 +72,25 @@ class HotSpotService:
 
     engine: PredictionEngine
     config: ServeConfig = field(default_factory=ServeConfig)
+    day_hooks: "list[Callable[[IngestTick], list[dict]]]" = field(default_factory=list)
 
     @property
     def telemetry(self) -> ServeTelemetry:
         return self.engine.telemetry
+
+    def add_day_hook(self, hook: "Callable[[IngestTick], list[dict]]") -> None:
+        """Register a callback run after each completed day's alerts.
+
+        Hooks receive the day-completing :class:`IngestTick` and return
+        events to append to the tick's event list — the seam the model
+        lifecycle controller plugs into, so drift/retrain/promotion
+        events flow through every driver (programmatic replay, JSONL,
+        and the resilient guard) identically.  Hooks run *after* the
+        day's alerts: the day that completes is still served by the
+        champion that was active while it streamed in, and a promotion
+        takes effect from the next forecast onwards.
+        """
+        self.day_hooks.append(hook)
 
     # ----------------------------------------------------------- programmatic
     def ingest_hour(
@@ -110,6 +125,8 @@ class HotSpotService:
                 if alert is not None:
                     events.append(alert)
                     self.telemetry.inc("alerts_emitted")
+        for hook in self.day_hooks:
+            events.extend(hook(tick))
         return events
 
     def _refresh_horizon(self, tick: IngestTick, horizon: int) -> dict | None:

@@ -22,6 +22,7 @@ Entry point: :class:`repro.synth.generator.TelemetryGenerator`.
 
 from repro.synth.calendar_info import CalendarConfig, build_calendar, default_holidays
 from repro.synth.config import EventConfig, GeneratorConfig, MissingnessConfig
+from repro.synth.drift import drift_shifted_dataset, intensified_events
 from repro.synth.generator import TelemetryGenerator, generate_dataset
 from repro.synth.geography import LAND_USE_NAMES, LandUse, NetworkGeographyBuilder
 from repro.synth.kpis import KPI_CLASSES, KPI_NAMES, KPICatalog
@@ -42,5 +43,7 @@ __all__ = [
     "TelemetryGenerator",
     "build_calendar",
     "default_holidays",
+    "drift_shifted_dataset",
     "generate_dataset",
+    "intensified_events",
 ]

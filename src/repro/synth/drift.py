@@ -1,0 +1,78 @@
+"""Controlled drift injection for lifecycle tests and benchmarks.
+
+:func:`drift_shifted_dataset` builds a dataset whose *event regime*
+changes at a known day: two realizations are generated from the **same
+seed** — identical geography, load profiles, and missingness process —
+but with different :class:`~repro.synth.config.EventConfig` rates, and
+the raw KPI tensors are spliced at the shift hour.  Everything before
+``shift_day`` is bitwise the base realization; everything after comes
+from the shifted regime.
+
+Splicing happens at the raw-tensor level, *before* sector filtering,
+imputation, and scoring, so the downstream pipeline sees one coherent
+dataset (a single sector set, one imputation pass) whose score and KPI
+distributions genuinely move at the shift — exactly what the online
+:class:`~repro.lifecycle.drift.DriftMonitor` is built to detect, with
+ground truth about when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.data.dataset import Dataset
+from repro.data.tensor import HOURS_PER_DAY
+from repro.synth.config import EventConfig, GeneratorConfig
+from repro.synth.generator import TelemetryGenerator
+
+__all__ = ["drift_shifted_dataset", "intensified_events"]
+
+
+def intensified_events(events: EventConfig | None = None, factor: float = 4.0) -> EventConfig:
+    """An event regime with all episode rates scaled by *factor*.
+
+    The default post-shift regime for drift experiments: more failures,
+    storms, and interference episodes (and a stronger storm gain) shift
+    the upper tail of the score distribution without touching the
+    diurnal load structure.
+    """
+    base = events or EventConfig()
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    return replace(
+        base,
+        failure_rate_per_tower_day=base.failure_rate_per_tower_day * factor,
+        congestion_storm_rate_per_day=base.congestion_storm_rate_per_day * factor,
+        storm_gain=1.0 + (base.storm_gain - 1.0) * min(factor, 2.0),
+        interference_rate_per_day=base.interference_rate_per_day * factor,
+        onset_rate_per_sector=base.onset_rate_per_sector * min(factor, 3.0),
+    )
+
+
+def drift_shifted_dataset(
+    config: GeneratorConfig,
+    shift_day: int,
+    shifted_events: EventConfig | None = None,
+) -> Dataset:
+    """A raw dataset whose event regime shifts at *shift_day*.
+
+    Hours ``< shift_day * 24`` are the realization of *config*; hours
+    after are the same-seed realization of *config* with
+    *shifted_events* (default: :func:`intensified_events` applied to the
+    base regime).  Returns the raw (unfiltered, unscored) dataset —
+    run the usual ``filter_sectors`` / impute / ``attach_scores``
+    pipeline on it.
+    """
+    n_days = config.n_weeks * 7
+    if not 0 < shift_day < n_days:
+        raise ValueError(
+            f"shift_day must fall inside the dataset (0, {n_days}), got {shift_day}"
+        )
+    if shifted_events is None:
+        shifted_events = intensified_events(config.events)
+    base = TelemetryGenerator(config).generate()
+    shifted = TelemetryGenerator(replace(config, events=shifted_events)).generate()
+    shift_hour = shift_day * HOURS_PER_DAY
+    base.kpis.values[:, shift_hour:, :] = shifted.kpis.values[:, shift_hour:, :]
+    base.kpis.missing[:, shift_hour:, :] = shifted.kpis.missing[:, shift_hour:, :]
+    return base

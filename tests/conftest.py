@@ -7,6 +7,7 @@ import pytest
 
 from repro import GeneratorConfig, TelemetryGenerator, attach_scores, filter_sectors
 from repro.imputation import ForwardFillImputer
+from repro.synth import drift_shifted_dataset, intensified_events
 
 
 @pytest.fixture(scope="session")
@@ -40,6 +41,30 @@ def analysis_dataset():
     """
     config = GeneratorConfig(n_towers=60, n_weeks=18, seed=3)
     dataset = TelemetryGenerator(config).generate()
+    dataset, _ = filter_sectors(dataset)
+    dataset.kpis = ForwardFillImputer().fit_transform(dataset.kpis)
+    return attach_scores(dataset)
+
+
+#: Shift day of the drifted fixture dataset (known ground truth for
+#: drift-detection and lifecycle tests).
+DRIFT_SHIFT_DAY = 40
+
+
+@pytest.fixture(scope="session")
+def drifted_dataset():
+    """A scored 10-week dataset whose event regime shifts at day 40.
+
+    Same-seed splice via :func:`repro.synth.drift_shifted_dataset`: days
+    before :data:`DRIFT_SHIFT_DAY` are the base realization, days after
+    come from an intensified event regime (more failures/storms/
+    interference), so score and KPI distributions genuinely move at a
+    known day.  Session-scoped; tests must not mutate it.
+    """
+    config = GeneratorConfig(n_towers=12, n_weeks=10, seed=21)
+    dataset = drift_shifted_dataset(
+        config, DRIFT_SHIFT_DAY, intensified_events(config.events, factor=8.0)
+    )
     dataset, _ = filter_sectors(dataset)
     dataset.kpis = ForwardFillImputer().fit_transform(dataset.kpis)
     return attach_scores(dataset)

@@ -14,7 +14,9 @@ class TestParser:
             action.dest: action for action in parser._actions
         }
         sub = actions["command"]
-        assert set(sub.choices) == {"generate", "analyze", "forecast", "sweep", "serve"}
+        assert set(sub.choices) == {
+            "generate", "analyze", "forecast", "sweep", "serve", "lifecycle"
+        }
 
     def test_missing_required_out_errors(self):
         with pytest.raises(SystemExit):
@@ -90,3 +92,60 @@ class TestSweepRangeGuard:
         out = capsys.readouterr().out
         assert code == 1
         assert "too short" in out
+
+
+class TestLifecycleCLI:
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["lifecycle", "--data", "x.npz", "--registry", "models"]
+        )
+        assert args.model == "RF-F1"
+        assert (args.retrain_every, args.min_retrain_gap) == (0, 7)
+        assert (args.reference_days, args.current_days) == (14, 7)
+        assert args.drift_alpha == 0.01
+        assert args.promote_min_delta == 5.0
+        assert (args.shadow_days, args.max_shadow_days) == (5, 14)
+        assert args.confirm_days == 0
+
+    @pytest.mark.parametrize(
+        "flag, value",
+        [
+            ("--drift-alpha", "1.5"),
+            ("--reference-days", "0"),
+            ("--shadow-days", "0"),
+            ("--min-retrain-gap", "0"),
+        ],
+    )
+    def test_bad_config_exits_nonzero(self, tmp_path, capsys, flag, value):
+        """Config errors surface as exit 1 + stderr, before any I/O."""
+        code = cli_main([
+            "lifecycle", "--data", str(tmp_path / "missing.npz"),
+            "--registry", str(tmp_path / "models"), flag, value,
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "invalid lifecycle configuration" in captured.err
+        assert not (tmp_path / "models").exists()  # failed before training
+
+    def test_end_to_end_replay(self, tmp_path, capsys):
+        import json
+
+        data_path = str(tmp_path / "net.npz")
+        assert cli_main([
+            "generate", "--towers", "6", "--weeks", "6", "--seed", "5",
+            "--out", data_path,
+        ]) == 0
+        capsys.readouterr()
+        assert cli_main([
+            "lifecycle", "--data", data_path, "--impute-epochs", "1",
+            "--registry", str(tmp_path / "models"),
+            "--train-day", "25", "--estimators", "3", "--training-days", "2",
+            "--reference-days", "7", "--current-days", "4",
+            "--top-k", "3",
+        ]) == 0
+        captured = capsys.readouterr()
+        events = [json.loads(line) for line in captured.out.splitlines()]
+        assert any(e.get("type") == "alert" for e in events)
+        # A stationary stream: the control plane ran but stayed quiet.
+        assert "lifecycle: phase=idle champion=v0" in captured.err
+        assert not any(e.get("event") == "promotion" for e in events)

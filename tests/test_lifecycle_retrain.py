@@ -1,0 +1,170 @@
+"""Challenger retraining from the ring: triggers, seeds, batch parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import build_feature_tensor
+from repro.core.forecaster import make_model
+from repro.data.tensor import HOURS_PER_DAY
+from repro.lifecycle import RetrainConfig, RetrainScheduler, RingFeatureView
+from repro.serve import StreamIngestor
+
+CONFIG = RetrainConfig(
+    model="RF-F1", target="hot", horizon=1, window=7,
+    n_estimators=4, n_training_days=3, base_seed=11,
+    cadence_days=0, min_days_between=5,
+)
+T_DAY = 60
+
+
+def feed(dataset, ingestor, hours):
+    kpis = dataset.kpis
+    for hour in range(hours):
+        ingestor.ingest_hour(
+            kpis.values[:, hour, :], kpis.missing[:, hour, :], dataset.calendar[hour]
+        )
+    return ingestor
+
+
+@pytest.fixture(scope="module")
+def fed_ingestor(scored_dataset):
+    ingestor = StreamIngestor.for_dataset(
+        scored_dataset, w_max=CONFIG.lookback_days + 2
+    )
+    return feed(scored_dataset, ingestor, (T_DAY + 1) * HOURS_PER_DAY)
+
+
+class TestRetrainConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"model": "Persist"},        # baselines never retrain
+            {"model": "nope"},
+            {"target": "cold"},
+            {"horizon": 0},
+            {"window": 0},
+            {"n_estimators": 0},
+            {"cadence_days": -1},
+            {"min_days_between": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RetrainConfig(**{**{"model": "RF-F1"}, **kwargs})
+
+    def test_lookback(self):
+        assert CONFIG.lookback_days == 3 + 1 + 7 - 1
+
+
+class TestSeeds:
+    def test_deterministic_and_distinct(self):
+        scheduler = RetrainScheduler(CONFIG)
+        seeds = [scheduler.seed_for(day) for day in range(40, 60)]
+        assert seeds == [scheduler.seed_for(day) for day in range(40, 60)]
+        assert len(set(seeds)) == len(seeds)
+        assert all(0 <= seed < 2**31 for seed in seeds)
+
+    def test_depends_on_cell_and_base_seed(self):
+        base = RetrainScheduler(CONFIG).seed_for(T_DAY)
+        for other in (
+            RetrainConfig(model="RF-R", base_seed=11),
+            RetrainConfig(model="RF-F1", base_seed=12),
+            RetrainConfig(model="RF-F1", base_seed=11, horizon=2),
+            RetrainConfig(model="RF-F1", base_seed=11, window=6),
+        ):
+            assert RetrainScheduler(other).seed_for(T_DAY) != base
+
+
+class TestTrigger:
+    def test_drift_wins_over_cadence(self):
+        config = RetrainConfig(model="RF-F1", cadence_days=3, min_days_between=2)
+        scheduler = RetrainScheduler(config)
+        assert scheduler.should_retrain(10, True, 5) == "drift"
+        assert scheduler.should_retrain(10, False, 5) == "cadence"
+
+    def test_hysteresis_suppresses_both(self):
+        scheduler = RetrainScheduler(CONFIG)  # min_days_between=5
+        assert scheduler.should_retrain(44, True, 41) is None
+        assert scheduler.should_retrain(46, True, 41) == "drift"
+
+    def test_no_cadence_means_drift_only(self):
+        scheduler = RetrainScheduler(CONFIG)  # cadence_days=0
+        assert scheduler.should_retrain(50, False, 10) is None
+        assert scheduler.should_retrain(50, False, -1) is None
+
+    def test_cadence_counts_from_last_fit(self):
+        config = RetrainConfig(model="RF-F1", cadence_days=10, min_days_between=2)
+        scheduler = RetrainScheduler(config)
+        assert scheduler.should_retrain(19, False, 10) is None
+        assert scheduler.should_retrain(20, False, 10) == "cadence"
+        assert scheduler.should_retrain(5, False, -1) == "cadence"  # never fit
+
+
+class TestRingFit:
+    def test_ring_view_matches_batch_tensor(self, scored_dataset, fed_ingestor):
+        view = RingFeatureView(fed_ingestor)
+        batch = build_feature_tensor(scored_dataset)
+        assert view.n_hours == fed_ingestor.hours_seen
+        np.testing.assert_array_equal(
+            view.window(T_DAY, CONFIG.window), batch.window(T_DAY, CONFIG.window)
+        )
+
+    def test_challenger_matches_batch_fit_bitwise(
+        self, scored_dataset, fed_ingestor
+    ):
+        """The headline parity: a challenger fitted from the ring equals
+        a batch fit over the same days with the same seed — bitwise."""
+        scheduler = RetrainScheduler(CONFIG)
+        challenger = scheduler.fit_challenger(fed_ingestor, T_DAY)
+
+        batch_model = make_model(
+            CONFIG.model,
+            n_estimators=CONFIG.n_estimators,
+            n_training_days=CONFIG.n_training_days,
+            random_state=scheduler.seed_for(T_DAY),
+            n_jobs=1,
+        )
+        features = build_feature_tensor(scored_dataset)
+        batch_model.fit(
+            features,
+            np.asarray(scored_dataset.labels_daily, dtype=np.int64),
+            T_DAY,
+            CONFIG.horizon,
+            CONFIG.window,
+        )
+        window_block = fed_ingestor.feature_window(T_DAY, CONFIG.window)
+        np.testing.assert_array_equal(
+            challenger.forecast_window(window_block),
+            batch_model.forecast_window(window_block),
+        )
+        assert scheduler.fits == 1
+
+    def test_n_jobs_does_not_change_the_fit(self, fed_ingestor):
+        scheduler = RetrainScheduler(CONFIG)
+        serial = scheduler.fit_challenger(fed_ingestor, T_DAY, n_jobs=1)
+        parallel = scheduler.fit_challenger(fed_ingestor, T_DAY, n_jobs=2)
+        window_block = fed_ingestor.feature_window(T_DAY, CONFIG.window)
+        np.testing.assert_array_equal(
+            serial.forecast_window(window_block),
+            parallel.forecast_window(window_block),
+        )
+
+    def test_future_day_rejected(self, fed_ingestor):
+        scheduler = RetrainScheduler(CONFIG)
+        with pytest.raises(ValueError, match="last complete day"):
+            scheduler.fit_challenger(
+                fed_ingestor, fed_ingestor.last_complete_day + 1
+            )
+
+    def test_evicted_window_rejected(self, scored_dataset):
+        """A trigger whose lookback fell out of the ring fails loudly
+        instead of training on garbage."""
+        ingestor = StreamIngestor.for_dataset(
+            scored_dataset, w_max=CONFIG.lookback_days
+        )
+        feed(scored_dataset, ingestor, 40 * HOURS_PER_DAY)
+        scheduler = RetrainScheduler(CONFIG)
+        with pytest.raises(ValueError):
+            scheduler.fit_challenger(ingestor, 12)  # evicted long ago

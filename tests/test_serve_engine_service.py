@@ -378,3 +378,73 @@ class TestServeCLI:
             "--registry", str(tmp_path / "models"), "--train-day", "9999",
         ]) == 1
         assert "--train-day" in capsys.readouterr().err
+
+
+class TestVersionPins:
+    """Lifecycle pins: the model version is part of the cache key, so a
+    champion swap takes effect immediately instead of serving a stale
+    same-day forecast (the PR 5 cache regression)."""
+
+    @pytest.fixture()
+    def versioned_registry(self, runner, scored_dataset, tmp_path):
+        from repro.serve import ModelKey
+
+        registry = ModelRegistry(tmp_path / "registry")
+        train_and_register(registry=registry, runner=runner,
+                           model_names=("RF-F1",), t_day=TRAIN_DAY,
+                           horizons=(1,), windows=(WINDOW,))
+        # v1: same cell trained at a much earlier day -> different forest.
+        early = runner.train_cell("RF-F1", 60, 1, WINDOW)
+        registry.save_version(
+            ModelKey("hot", "RF-F1", 1, WINDOW), early, {"trigger": "test"}
+        )
+        return registry
+
+    def test_swap_serves_new_version_same_day(
+        self, scored_dataset, versioned_registry
+    ):
+        engine = make_engine(scored_dataset, versioned_registry)
+        assert engine.active_version() is None
+        unversioned = engine.predict(1)
+
+        engine.set_active_version("RF-F1", 1)
+        assert engine.active_version() == 1
+        assert engine.telemetry.counter("model_swaps") == 1
+        pinned = engine.predict(1)
+        assert not np.array_equal(pinned, unversioned)
+
+        # Parity: a fresh engine pinned from the start computes the same
+        # forecast -- the swap really dropped the same-day cache entry.
+        fresh = make_engine(scored_dataset, versioned_registry)
+        fresh.set_active_version("RF-F1", 1)
+        np.testing.assert_array_equal(pinned, fresh.predict(1))
+
+        # Unpinning restores the unversioned entry, again cache-fresh.
+        engine.set_active_version("RF-F1", None)
+        np.testing.assert_array_equal(engine.predict(1), unversioned)
+
+    def test_same_pin_is_a_noop(self, scored_dataset, versioned_registry):
+        engine = make_engine(scored_dataset, versioned_registry)
+        engine.set_active_version("RF-F1", 1)
+        engine.predict(1)
+        cached = engine.cache_size
+        swaps = engine.telemetry.counter("model_swaps")
+        engine.set_active_version("RF-F1", 1)  # unchanged pin
+        assert engine.cache_size == cached
+        assert engine.telemetry.counter("model_swaps") == swaps
+
+    def test_pin_validation(self, scored_dataset, versioned_registry):
+        engine = make_engine(scored_dataset, versioned_registry)
+        with pytest.raises(ValueError, match="version"):
+            engine.set_active_version("RF-F1", 0)
+
+    def test_explicit_invalidate(self, scored_dataset, versioned_registry):
+        engine = make_engine(scored_dataset, versioned_registry)
+        before = engine.predict(1)
+        misses = engine.telemetry.counter("cache_misses")
+        engine.invalidate()
+        assert engine.cache_size == 0
+        assert engine.telemetry.counter("cache_invalidations") >= 1
+        after = engine.predict(1)
+        assert engine.telemetry.counter("cache_misses") == misses + 1
+        np.testing.assert_array_equal(before, after)

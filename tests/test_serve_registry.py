@@ -202,3 +202,94 @@ class TestCrashSafety:
         with pytest.warns(RuntimeWarning, match="corrupt registry entry"):
             keys = registry.keys()
         assert keys == [good_key]
+
+
+class TestVersionedEntries:
+    """Lifecycle versioning: monotonic numbers, provenance sidecars."""
+
+    KEY = ModelKey("hot", "RF-F1", HORIZON, WINDOW)
+
+    def test_versioned_filename_roundtrip(self):
+        versioned = ModelKey("hot", "RF-F1", 7, 21, version=4)
+        assert versioned.filename == "hot__RF-F1__h007__w021__v0004.npz"
+        assert ModelKey.from_filename(versioned.filename) == versioned
+        assert versioned.base == ModelKey("hot", "RF-F1", 7, 21)
+        assert versioned.base.version is None
+
+    def test_version_validation(self):
+        with pytest.raises(ValueError, match="version"):
+            ModelKey("hot", "RF-F1", 1, 7, version=0)
+        with pytest.raises(ValueError, match="version segment"):
+            ModelKey.from_filename("hot__RF-F1__h001__w007__x0004.npz")
+        with pytest.raises(ValueError):
+            ModelKey.from_filename("hot__RF-F1__h001__w007__vXYZ.npz")
+
+    def test_save_version_is_monotonic(self, runner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        model = runner.train_cell("RF-F1", T_DAY, HORIZON, WINDOW)
+        assert registry.versions(self.KEY) == []
+        assert registry.next_version(self.KEY) == 1
+        first = registry.save_version(self.KEY, model)
+        second = registry.save_version(self.KEY, model)
+        assert (first.version, second.version) == (1, 2)
+        assert registry.versions(self.KEY) == [1, 2]
+        # The unversioned entry coexists and is not counted.
+        registry.save(self.KEY, model)
+        assert registry.versions(self.KEY) == [1, 2]
+        assert registry.latest(self.KEY).version == 2
+
+    def test_explicit_version_overwrites_idempotently(
+        self, runner, features, tmp_path
+    ):
+        """Re-minting the same number (the crash re-processing path)
+        overwrites the archive instead of leaking a stray version."""
+        registry = ModelRegistry(tmp_path)
+        model = runner.train_cell("RF-F1", T_DAY, HORIZON, WINDOW)
+        registry.save_version(self.KEY, model, {"seed": 1}, version=1)
+        registry.save_version(self.KEY, model, {"seed": 1}, version=1)
+        assert registry.versions(self.KEY) == [1]
+        registry.evict_all()
+        reloaded = registry.load(registry.latest(self.KEY))
+        np.testing.assert_array_equal(
+            model.forecast(features, T_DAY, WINDOW),
+            reloaded.forecast(features, T_DAY, WINDOW),
+        )
+
+    def test_provenance_sidecar(self, runner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        model = runner.train_cell("RF-F1", T_DAY, HORIZON, WINDOW)
+        versioned = registry.save_version(
+            self.KEY, model, {"trigger": "drift", "seed": 42, "parent_version": None}
+        )
+        record = registry.provenance(versioned)
+        assert record["trigger"] == "drift"
+        assert record["seed"] == 42
+        assert record["parent_version"] is None
+        # Identity fields are filled in automatically.
+        assert record["version"] == versioned.version
+        assert record["model"] == "RF-F1"
+        assert record["target"] == "hot"
+        assert (record["horizon"], record["window"]) == (HORIZON, WINDOW)
+        assert registry.provenance(self.KEY) is None  # unversioned: no sidecar
+
+    def test_history_pairs_versions_with_provenance(self, runner, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        model = runner.train_cell("RF-F1", T_DAY, HORIZON, WINDOW)
+        registry.save_version(self.KEY, model, {"trigger": "drift"})
+        registry.save_version(self.KEY, model, {"trigger": "cadence"})
+        history = registry.history(self.KEY)
+        assert [key.version for key, _ in history] == [1, 2]
+        assert [rec["trigger"] for _, rec in history] == ["drift", "cadence"]
+        # history() accepts a versioned key too: same base, same answer.
+        assert registry.history(history[0][0]) == history
+
+    def test_latest_empty_and_corrupt_sidecar(self, runner, tmp_path):
+        from repro.serve import RegistryCorruptError
+
+        registry = ModelRegistry(tmp_path)
+        assert registry.latest(self.KEY) is None
+        model = runner.train_cell("RF-F1", T_DAY, HORIZON, WINDOW)
+        versioned = registry.save_version(self.KEY, model)
+        registry.provenance_path_for(versioned).write_text("{torn", encoding="utf-8")
+        with pytest.raises(RegistryCorruptError, match="provenance"):
+            registry.provenance(versioned)

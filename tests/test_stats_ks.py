@@ -104,3 +104,74 @@ class TestKSTwoSample:
         backward = ks_two_sample(y, x)
         assert forward.statistic == pytest.approx(backward.statistic)
         assert forward.pvalue == pytest.approx(backward.pvalue)
+
+
+class TestEdgeCases:
+    """Degenerate inputs the drift monitor can produce on real streams."""
+
+    def test_heavily_tied_samples_match_scipy(self, rng):
+        """Score columns are quantised (vote fractions), so most values
+        tie; the statistic must still agree with scipy's ECDF sweep."""
+        x = rng.integers(0, 5, size=200) / 4.0
+        y = rng.integers(0, 5, size=170) / 4.0
+        ours = ks_two_sample(x, y)
+        theirs = scipy_stats.ks_2samp(x, y, mode="asymp")
+        assert ours.statistic == pytest.approx(theirs.statistic, abs=1e-12)
+        assert 0.0 <= ours.pvalue <= 1.0
+
+    def test_all_values_tied_across_samples(self):
+        result = ks_two_sample(np.full(40, 0.25), np.full(60, 0.25))
+        assert result.statistic == 0.0
+        assert result.pvalue == pytest.approx(1.0)
+
+    def test_constant_but_different_distributions(self):
+        result = ks_two_sample(np.zeros(30), np.ones(30))
+        assert result.statistic == pytest.approx(1.0)
+        assert result.rejects_null(0.01)
+
+    @pytest.mark.parametrize("n1, n2", [(2, 2), (2, 7), (5, 3), (7, 7)])
+    def test_tiny_samples_stay_bounded(self, rng, n1, n2):
+        """n < 8 is below the drift monitor's min_samples floor, but the
+        primitive itself must stay well-defined there."""
+        x = rng.normal(size=n1)
+        y = rng.normal(size=n2)
+        result = ks_two_sample(x, y)
+        assert 0.0 <= result.statistic <= 1.0
+        assert 0.0 <= result.pvalue <= 1.0
+        theirs = scipy_stats.ks_2samp(x, y, mode="asymp")
+        assert result.statistic == pytest.approx(theirs.statistic, abs=1e-12)
+
+    def test_single_element_samples(self):
+        result = ks_two_sample(np.array([1.0]), np.array([2.0]))
+        assert result.statistic == pytest.approx(1.0)
+        # Too little evidence: the asymptotic p-value must not reject.
+        assert not result.rejects_null(0.05)
+
+    def test_agreement_with_temporal_stability(self, rng):
+        """core.stability's KS screen is this primitive applied to the
+        per-combination psi splits — bitwise."""
+        from repro.core.evaluation import EvaluationResult
+        from repro.core.experiment import ExperimentResult
+        from repro.core.stability import temporal_stability
+
+        days = list(range(52, 88))
+        psis = rng.uniform(0.2, 0.9, size=len(days))
+        results = [
+            ExperimentResult(
+                model="RF-F1", t_day=day, horizon=1, window=7, target="hot",
+                evaluation=EvaluationResult(
+                    average_precision=float(psi), lift=1.0,
+                    n_sectors=30, n_positive=5,
+                ),
+            )
+            for day, psi in zip(days, psis)
+        ]
+        report = temporal_stability(results, split_day=69)
+        early = np.asarray(
+            [float(p) for d, p in zip(days, psis) if d <= 69]
+        )
+        late = np.asarray(
+            [float(p) for d, p in zip(days, psis) if d > 69]
+        )
+        direct = ks_two_sample(early, late)
+        assert report.pvalues[("RF-F1", 1, 7)] == direct.pvalue
