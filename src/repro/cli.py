@@ -1,6 +1,6 @@
 """Command-line front end.
 
-Six subcommands cover the full pipeline::
+Seven subcommands cover the full pipeline::
 
     hotspot-repro generate  --towers 100 --weeks 18 --out data.npz
     hotspot-repro analyze   --data data.npz
@@ -8,6 +8,8 @@ Six subcommands cover the full pipeline::
     hotspot-repro sweep     --data data.npz --out results.jsonl
     hotspot-repro serve     --data data.npz --registry models/
     hotspot-repro lifecycle --data data.npz --registry models/
+    hotspot-repro fleet     --data data.npz --registry models/ \\
+                            --checkpoint-dir fleet/ --shards 4
 
 ``generate`` writes a synthetic dataset; ``analyze`` prints the Sec. III
 dynamics summaries; ``forecast`` runs a focused comparison of all eight
@@ -18,7 +20,10 @@ operations from stdin with ``--from-stdin``) and emitting hot-spot alert
 events as JSON lines on stdout.  ``lifecycle`` is ``serve`` with the
 model-lifecycle control plane attached: online drift detection,
 drift/cadence-triggered retraining, and champion/challenger promotion,
-all reported in the same JSONL event stream.
+all reported in the same JSONL event stream.  ``fleet`` is ``serve``
+sharded over sector partitions — ``--shards N`` engines with their own
+WALs behind one coordinator (``--jobs M`` fans them out over processes),
+emitting a merged stream bitwise identical to the single engine's.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from repro.core.forecaster import MODEL_REGISTRY
 from repro.core.scoring import attach_scores
 from repro.data.store import load_dataset, save_dataset, save_result_table
 from repro.data.tensor import HOURS_PER_DAY
+from repro.fleet import FleetConfig, build_fleet, recover_fleet
 from repro.imputation import DAEImputer, DAEImputerConfig, filter_sectors
 from repro.lifecycle import (
     DriftConfig,
@@ -451,6 +457,113 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
             checkpoint.close()
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    # Progress lines go to stderr: stdout is the merged JSON event stream.
+    horizons = tuple(args.horizons)
+    if min(horizons) < 1 or args.window < 1 or args.top_k < 1:
+        print(
+            "--horizons, --window, and --top-k must all be >= 1",
+            file=sys.stderr,
+        )
+        return 1
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 1
+    dataset = _prepare(args.data, args.impute_epochs, quiet=args.quiet, file=sys.stderr)
+    n_days = dataset.time_axis.n_days
+    if not 0 < args.train_day < n_days:
+        print(
+            f"--train-day {args.train_day} outside dataset range (0, {n_days})",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Same frozen-model bootstrap as `serve`: train once at --train-day,
+    # persist, and let every shard's engine load it lazily from disk.
+    runner = SweepRunner(
+        dataset,
+        target="hot",
+        n_estimators=args.estimators,
+        n_training_days=args.training_days,
+        seed=args.seed,
+    )
+    registry = ModelRegistry(args.registry)
+    keys = train_and_register(
+        runner,
+        registry,
+        [args.model],
+        args.train_day,
+        horizons,
+        (args.window,),
+        overwrite=True,
+        n_jobs=args.jobs,
+    )
+    _info(
+        f"registered {len(keys)} model(s) under {registry.root}",
+        args.quiet,
+        sys.stderr,
+    )
+
+    config = FleetConfig.for_dataset(
+        dataset,
+        args.registry,
+        model=args.model,
+        window=args.window,
+        horizons=horizons,
+        start_day=args.train_day,
+        top_k=args.top_k,
+        alert_threshold=args.alert_threshold,
+        w_max=max(args.window, 7),
+        snapshot_every=args.snapshot_every,
+    )
+    if args.resume:
+        # Keep the persisted shard count unless --shards asks for a
+        # different one, in which case recovery reshards first.
+        fleet = recover_fleet(
+            args.checkpoint_dir, config, n_shards=args.shards, jobs=args.jobs
+        )
+    else:
+        fleet = build_fleet(
+            args.checkpoint_dir, config, args.shards or 2, jobs=args.jobs
+        )
+    resumed = f", resuming at hour {fleet.clock}" if args.resume else ""
+    _info(
+        f"fleet: {fleet.plan.n_shards} shards "
+        f"(generation {fleet.plan.generation}), "
+        f"backend={fleet.backend.name}{resumed}",
+        args.quiet,
+        sys.stderr,
+    )
+
+    try:
+        if args.from_stdin:
+            processed = fleet.run_jsonl(sys.stdin, sys.stdout)
+            _info(f"processed {processed} operations", args.quiet, sys.stderr)
+            errors = fleet.telemetry.counter("stream_errors")
+            if errors:
+                _info(
+                    f"{errors} stream errors (see error events)",
+                    args.quiet,
+                    sys.stderr,
+                )
+            return 0
+
+        end_day = n_days if args.max_days is None else min(args.max_days, n_days)
+        alerts = _replay_events(fleet, dataset, fleet.clock, end_day)
+        stats = fleet.stats()
+        _info(
+            f"replayed {end_day} days over {stats['fleet']['n_shards']} shards: "
+            f"{alerts} alerts, "
+            f"{stats['counters'].get('ticks_quarantined', 0)} quarantined, "
+            f"{stats['counters'].get('degraded_predictions', 0)} degraded",
+            args.quiet,
+            sys.stderr,
+        )
+        return 0
+    finally:
+        fleet.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -594,6 +707,40 @@ def build_parser() -> argparse.ArgumentParser:
                     help="restore state from --checkpoint-dir and continue "
                     "the replay from the recovered hour")
     lc.set_defaults(func=_cmd_lifecycle)
+
+    fl = sub.add_parser(
+        "fleet",
+        parents=[common],
+        help="run the sharded serving fleet behind one coordinator",
+    )
+    fl.add_argument("--registry", required=True, help="model registry directory")
+    fl.add_argument("--model", choices=ALL_MODEL_NAMES, default="RF-F1")
+    fl.add_argument("--train-day", type=int, default=60,
+                    help="day the served model is trained at")
+    fl.add_argument("--window", type=int, default=7)
+    fl.add_argument("--horizons", type=int, nargs="+", default=[1])
+    fl.add_argument("--estimators", type=int, default=10)
+    fl.add_argument("--training-days", type=int, default=6)
+    fl.add_argument("--top-k", type=int, default=5,
+                    help="sectors alerted per refresh (global, post-merge)")
+    fl.add_argument("--alert-threshold", type=float, default=None,
+                    help="minimum forecast score to alert (default: top-k only)")
+    fl.add_argument("--max-days", type=int, default=None,
+                    help="replay at most this many days")
+    fl.add_argument("--from-stdin", action="store_true",
+                    help="read JSONL operations from stdin instead of replaying")
+    fl.add_argument("--shards", type=int, default=None,
+                    help="shard count (default 2; with --resume the persisted "
+                    "plan is kept, and a different value reshards first)")
+    fl.add_argument("--checkpoint-dir", required=True,
+                    help="fleet directory: partition plan, watermark, and "
+                    "one WAL + snapshot directory per shard")
+    fl.add_argument("--snapshot-every", type=int, default=168,
+                    help="hours between per-shard snapshots (default: one week)")
+    fl.add_argument("--resume", action="store_true",
+                    help="recover every shard from --checkpoint-dir and "
+                    "continue the replay from the merged watermark")
+    fl.set_defaults(func=_cmd_fleet)
     return parser
 
 

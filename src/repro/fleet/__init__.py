@@ -1,0 +1,64 @@
+"""repro.fleet — shard-capable serving: partition, route, merge, recover.
+
+The single-engine serve path (:mod:`repro.serve`, hardened by
+:mod:`repro.resilience`) scales up here without giving up any of its
+guarantees:
+
+* :mod:`repro.fleet.partition` — deterministic sector → shard
+  assignment, persisted with the checkpoints, diffable into rebalance
+  plans;
+* :mod:`repro.fleet.worker` — one shard's engine + WAL + dark tracker
+  (+ optional lifecycle controller), crash-consistent per tick;
+* :mod:`repro.fleet.coordinator` — global validation, tick routing,
+  and the deterministic merge that makes the fleet's event stream
+  bitwise identical to a single engine's, on either the in-process or
+  the forked-process backend;
+* :mod:`repro.fleet.recovery` — fleet-wide crash recovery and
+  reshard (shard-count changes between runs), resuming to a
+  bitwise-identical continuation of the merged stream.
+"""
+
+from repro.fleet.coordinator import (
+    WATERMARK_NAME,
+    FleetCoordinator,
+    ProcessBackend,
+    SerialBackend,
+    build_fleet,
+    recovered_clock,
+)
+from repro.fleet.partition import (
+    PARTITION_NAME,
+    PartitionPlan,
+    rebalance_moves,
+    sector_shard,
+)
+from repro.fleet.recovery import recover_fleet, reshard
+from repro.fleet.worker import (
+    FleetConfig,
+    FleetLifecycleSpec,
+    FleetProtocolError,
+    ShardWorker,
+    SimulatedKill,
+    build_worker,
+)
+
+__all__ = [
+    "FleetConfig",
+    "FleetCoordinator",
+    "FleetLifecycleSpec",
+    "FleetProtocolError",
+    "PARTITION_NAME",
+    "PartitionPlan",
+    "ProcessBackend",
+    "SerialBackend",
+    "ShardWorker",
+    "SimulatedKill",
+    "WATERMARK_NAME",
+    "build_fleet",
+    "build_worker",
+    "rebalance_moves",
+    "recover_fleet",
+    "recovered_clock",
+    "reshard",
+    "sector_shard",
+]

@@ -20,7 +20,14 @@ serial path for any worker count; callers degrade to serial when shared
 memory or process pools are unavailable.
 """
 
-from repro.parallel.pool import effective_jobs, partition
+from repro.parallel.pool import (
+    ChunkFailedError,
+    PoolUnavailable,
+    effective_jobs,
+    flatten,
+    ordered_chunk_map,
+    partition,
+)
 from repro.parallel.shm import (
     SharedArrayBundle,
     SharedArraySpec,
@@ -31,7 +38,11 @@ from repro.parallel.shm import (
 from repro.parallel.sweep import ParallelExecutionUnavailable, run_sweep_parallel
 
 __all__ = [
+    "ChunkFailedError",
+    "PoolUnavailable",
     "effective_jobs",
+    "flatten",
+    "ordered_chunk_map",
     "partition",
     "SharedArrayBundle",
     "SharedArraySpec",

@@ -22,6 +22,7 @@ __all__ = [
     "ordered_chunk_map",
     "flatten",
     "PoolUnavailable",
+    "ChunkFailedError",
 ]
 
 T = TypeVar("T")
@@ -30,6 +31,38 @@ R = TypeVar("R")
 
 class PoolUnavailable(RuntimeError):
     """Raised when worker processes cannot be started on this host."""
+
+
+class ChunkFailedError(RuntimeError):
+    """A chunk's worker function raised; identifies *which* partition died.
+
+    Wraps the original worker exception (available as ``__cause__``)
+    with the chunk index and the contiguous item range it covered, so a
+    failed shard/sector partition can be named in logs without
+    re-deriving the chunking.
+    """
+
+    def __init__(
+        self, chunk_index: int, n_chunks: int, item_range: tuple[int, int],
+        error: Exception,
+    ) -> None:
+        lo, hi = item_range
+        super().__init__(
+            f"chunk {chunk_index}/{n_chunks} (items [{lo}:{hi}]) failed: "
+            f"{type(error).__name__}: {error}"
+        )
+        self.chunk_index = chunk_index
+        self.item_range = item_range
+
+
+def _chunk_ranges(chunks: list[list]) -> list[tuple[int, int]]:
+    """Half-open global item range covered by each contiguous chunk."""
+    ranges = []
+    start = 0
+    for chunk in chunks:
+        ranges.append((start, start + len(chunk)))
+        start += len(chunk)
+    return ranges
 
 
 def effective_jobs(n_jobs: int | None, n_items: int | None = None) -> int:
@@ -103,7 +136,9 @@ def ordered_chunk_map(
     Results come back **in chunk order** regardless of completion order.
     *on_chunk_done(done_items, total_items)* fires as chunks complete,
     in completion order, for progress reporting.  Worker exceptions
-    propagate; failure to even start the pool raises
+    propagate wrapped in :class:`ChunkFailedError` (naming the chunk
+    index and item range that died, with the original exception as
+    ``__cause__``); failure to even start the pool raises
     :class:`PoolUnavailable` so callers can fall back to serial.
 
     *chunk_timeout* (seconds, also settable via the
@@ -159,6 +194,10 @@ def ordered_chunk_map(
                 except BrokenProcessPool as error:
                     salvage_reason = f"worker pool died: {error}"
                     break
+                except Exception as error:  # noqa: BLE001 - annotate and re-raise
+                    raise ChunkFailedError(
+                        index, len(chunks), _chunk_ranges(chunks)[index], error
+                    ) from error
                 done_items += len(chunks[index])
             if salvage_reason is None and on_chunk_done is not None:
                 on_chunk_done(done_items, total_items)
@@ -183,7 +222,12 @@ def ordered_chunk_map(
         if initializer is not None:
             initializer(*initargs)
         for index in lost:
-            results[index] = fn(chunks[index])
+            try:
+                results[index] = fn(chunks[index])
+            except Exception as error:  # noqa: BLE001 - annotate and re-raise
+                raise ChunkFailedError(
+                    index, len(chunks), _chunk_ranges(chunks)[index], error
+                ) from error
             done_items += len(chunks[index])
             if on_chunk_done is not None:
                 on_chunk_done(done_items, total_items)

@@ -459,7 +459,9 @@ class CheckpointManager:
 
     # ----------------------------------------------------------- recovery
     @classmethod
-    def recover(cls, directory: str | Path) -> RecoveredState:
+    def recover(
+        cls, directory: str | Path, up_to_hour: int | None = None
+    ) -> RecoveredState:
         """Rebuild the ingestor recorded under *directory*.
 
         Loads the newest readable snapshot (corrupt ones are skipped,
@@ -467,11 +469,23 @@ class CheckpointManager:
         replay from an empty ingestor configured from ``meta.json``),
         then replays every journal record with ``hour >=
         snapshot.hours_seen`` in hour order.
+
+        *up_to_hour* bounds the recovery: snapshots past it are skipped
+        and replay stops before applying that hour, so the returned
+        ingestor has ``hours_seen <= up_to_hour`` even when the journal
+        runs further.  The fleet reshard path uses this to rewind every
+        old shard to a common watermark before reassembling sectors.
         """
         directory = Path(directory)
         ingestor: StreamIngestor | None = None
         snapshot_hour = 0
-        for path in sorted(directory.glob("snapshot-*.npz"), reverse=True):
+        snapshot_paths = sorted(directory.glob("snapshot-*.npz"), reverse=True)
+        if up_to_hour is not None:
+            snapshot_paths = [
+                path for path in snapshot_paths
+                if int(path.stem.split("-")[1]) <= up_to_hour
+            ]
+        for path in snapshot_paths:
             try:
                 with np.load(path) as archive:
                     meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
@@ -505,6 +519,8 @@ class CheckpointManager:
                 # original run; fall back to a shape-derived default
                 # only when the meta is absent or unusable.
                 ingestor = cls._fresh_ingestor(directory, values.shape)
+            if up_to_hour is not None and hour >= up_to_hour:
+                break  # caller-bounded recovery (fleet reshard rewind)
             if hour < ingestor.hours_seen:
                 continue  # superseded by the snapshot
             if hour > ingestor.hours_seen:

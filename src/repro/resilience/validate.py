@@ -392,6 +392,40 @@ class DarkSectorTracker:
         """Current consecutive fully-missing-hour run for *sector*."""
         return int(self._run[sector])
 
+    def backfill_from_ring(self, ingestor: StreamIngestor) -> None:
+        """Rebuild the runs from *ingestor*'s ring-buffer missing mask.
+
+        After a crash the tracker's in-memory runs are gone; the ring
+        buffer, restored from snapshot+WAL, still holds the last
+        ``capacity`` hours of per-KPI missing masks.  The trailing
+        fully-missing run per sector is recomputed from it exactly:
+        because ``threshold_hours`` (84 by default) is far below the
+        ring capacity (>= 192 h), any run long enough to matter fits
+        entirely inside the ring, so the rebuilt state is equal to the
+        uninterrupted tracker's (asserted in the fleet parity tests).
+        ``went_dark_total`` is a lifetime counter with no ring
+        representation; it is left untouched (zero on a fresh tracker).
+        """
+        if ingestor.n_sectors != self.n_sectors:
+            raise ValueError(
+                f"ingestor has {ingestor.n_sectors} sectors, "
+                f"tracker has {self.n_sectors}"
+            )
+        hours = min(ingestor.hours_seen, ingestor.capacity)
+        if hours == 0:
+            self._run = np.zeros(self.n_sectors, dtype=np.int64)
+            return
+        slots = [
+            (ingestor.hours_seen - hours + i) % ingestor.capacity
+            for i in range(hours)
+        ]
+        fully = ingestor.missing[:, slots, :].all(axis=2)  # (n_sectors, hours)
+        rev = fully[:, ::-1]
+        broke = ~rev  # True where the trailing run stops
+        first_false = np.argmax(broke, axis=1)
+        run = np.where(broke.any(axis=1), first_false, hours)
+        self._run = run.astype(np.int64)
+
     def stats(self) -> dict:
         return {
             "dark_now": int(self.dark_mask.sum()),

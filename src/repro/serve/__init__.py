@@ -16,7 +16,7 @@ forecasting service:
 """
 
 from repro.serve.engine import PredictionEngine
-from repro.serve.ingest import IngestTick, StreamIngestor
+from repro.serve.ingest import IngestTick, StreamIngestor, default_calendar_row
 from repro.serve.registry import (
     ModelKey,
     ModelRegistry,
@@ -37,5 +37,6 @@ __all__ = [
     "ServeConfig",
     "ServeTelemetry",
     "StreamIngestor",
+    "default_calendar_row",
     "train_and_register",
 ]

@@ -43,7 +43,37 @@ from repro.core.scoring import ScoreConfig
 from repro.data.dataset import Dataset
 from repro.data.tensor import HOURS_PER_DAY, HOURS_PER_WEEK
 
-__all__ = ["IngestTick", "StreamIngestor"]
+__all__ = ["IngestTick", "StreamIngestor", "default_calendar_row"]
+
+
+def default_calendar_row(
+    hour: int,
+    start_weekday: int = 0,
+    start_hour: int = 0,
+    start_day_of_month: int = 1,
+) -> np.ndarray:
+    """Best-effort 5-element calendar row for a global *hour* index.
+
+    Derives (hour-of-day, day-of-week, a 31-day day-of-month cycle,
+    weekend flag, holiday = 0) from the given time-axis anchors — the
+    row :meth:`StreamIngestor.ingest_hour` synthesises when the caller
+    supplies none.  Exposed as a module function so layers that own no
+    ingestor (the fleet coordinator's gap-fill synthesis) derive the
+    identical row.
+    """
+    hour_of_day = (hour + start_hour) % HOURS_PER_DAY
+    day = (hour + start_hour) // HOURS_PER_DAY
+    day_of_week = (day + start_weekday) % 7
+    day_of_month = (day + start_day_of_month - 1) % 31 + 1
+    return np.array(
+        [
+            float(hour_of_day),
+            float(day_of_week),
+            float(day_of_month),
+            1.0 if day_of_week >= 5 else 0.0,
+            0.0,
+        ]
+    )
 
 
 @dataclass(frozen=True)
@@ -319,18 +349,8 @@ class StreamIngestor:
 
     def _default_calendar_row(self, hour: int) -> np.ndarray:
         """Best-effort calendar row when the caller supplies none."""
-        hour_of_day = (hour + self.start_hour) % HOURS_PER_DAY
-        day = (hour + self.start_hour) // HOURS_PER_DAY
-        day_of_week = (day + self.start_weekday) % 7
-        day_of_month = (day + self.start_day_of_month - 1) % 31 + 1
-        return np.array(
-            [
-                float(hour_of_day),
-                float(day_of_week),
-                float(day_of_month),
-                1.0 if day_of_week >= 5 else 0.0,
-                0.0,
-            ]
+        return default_calendar_row(
+            hour, self.start_weekday, self.start_hour, self.start_day_of_month
         )
 
     def replay(

@@ -100,6 +100,24 @@ class LatencyHistogram:
             "max": self.max,
         }
 
+    def merge_from(self, other: "LatencyHistogram") -> None:
+        """Pool *other*'s observations into this histogram.
+
+        Both histograms must share the same bucket boundaries (they do
+        when both were built with the defaults).  Bucket counts add
+        exactly, so pooled quantile estimates are what a single
+        histogram fed both observation streams would report.
+        """
+        if not np.array_equal(self._bounds, other._bounds):
+            raise ValueError(
+                "cannot merge histograms with different bucket boundaries"
+            )
+        self._counts += other._counts
+        self.count += other.count
+        self.total += other.total
+        if other.max > self.max:
+            self.max = other.max
+
 
 class ServeTelemetry:
     """Named counters and latency histograms for the serving layer.
@@ -168,6 +186,31 @@ class ServeTelemetry:
         if kind is None:
             return list(self._events)
         return [record for record in self._events if record["event"] == kind]
+
+    # --------------------------------------------------------------- merge
+    def merge(self, others: "Iterable[ServeTelemetry]") -> "ServeTelemetry":
+        """A new telemetry combining this one with *others*.
+
+        Counters sum, latency histograms pool bucket-by-bucket, and
+        ``events_seen`` adds — the fleet coordinator uses this to fold
+        per-shard telemetries into one network-wide snapshot.  Neither
+        operand is mutated, and the numeric snapshot (:meth:`stats`) is
+        **commutative**: ``a.merge([b])`` and ``b.merge([a])`` report
+        identical counters, latency summaries, and event totals.  Only
+        the *order* of the buffered event log depends on operand order
+        (events concatenate self-first, bounded by this instance's
+        capacity).
+        """
+        merged = ServeTelemetry(max_events=self._events.maxlen or 1)
+        sources = [self, *others]
+        for source in sources:
+            for name, value in source._counters.items():
+                merged._counters[name] = merged._counters.get(name, 0) + value
+            for name, histogram in source._histograms.items():
+                merged.histogram(name).merge_from(histogram)
+            merged._events.extend(source._events)
+            merged.events_seen += source.events_seen
+        return merged
 
     # ------------------------------------------------------------- snapshot
     def stats(self) -> dict:

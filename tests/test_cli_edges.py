@@ -15,7 +15,8 @@ class TestParser:
         }
         sub = actions["command"]
         assert set(sub.choices) == {
-            "generate", "analyze", "forecast", "sweep", "serve", "lifecycle"
+            "generate", "analyze", "forecast", "sweep", "serve", "lifecycle",
+            "fleet",
         }
 
     def test_missing_required_out_errors(self):

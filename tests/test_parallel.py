@@ -25,7 +25,7 @@ from repro.parallel import (
     partition,
     shared_memory_available,
 )
-from repro.parallel.pool import ordered_chunk_map
+from repro.parallel.pool import ChunkFailedError, ordered_chunk_map
 
 pytestmark = pytest.mark.skipif(
     not shared_memory_available(), reason="no shared memory on this host"
@@ -212,6 +212,14 @@ def _raise_on_x(chunk):
     return chunk
 
 
+def _die_in_worker_raise_in_parent(chunk):
+    if chunk == ["x"]:
+        if os.getpid() != _PARENT_PID:
+            os._exit(1)  # kill the pool; the chunk becomes a salvage re-run
+        raise ValueError("boom")
+    return [f"ok-{item}" for item in chunk]
+
+
 class TestPoolSalvage:
     def test_hung_worker_salvaged_serially(self):
         chunks = [["a"], ["hang"], ["b"], ["c"]]
@@ -232,9 +240,26 @@ class TestPoolSalvage:
             )
         assert results == [["ok-a"], ["ok-die"], ["ok-b"]]
 
-    def test_worker_exception_still_propagates(self):
-        with pytest.raises(ValueError, match="boom"):
+    def test_worker_exception_names_failed_chunk(self):
+        """A chunk failure reports which partition died, cause attached."""
+        with pytest.raises(
+            ChunkFailedError, match=r"chunk 1/2 \(items \[1:2\]\).*boom"
+        ) as excinfo:
             ordered_chunk_map(_raise_on_x, [["a"], ["x"]], n_jobs=2)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert excinfo.value.chunk_index == 1
+        assert excinfo.value.item_range == (1, 2)
+
+    def test_serial_salvage_exception_names_failed_chunk(self):
+        """Exceptions in the serial salvage re-run carry chunk context."""
+        chunks = [["a"], ["x"], ["b"]]
+        with pytest.warns(RuntimeWarning, match="worker pool died"):
+            with pytest.raises(ChunkFailedError, match=r"chunk 1/3") as excinfo:
+                ordered_chunk_map(
+                    _die_in_worker_raise_in_parent, chunks, n_jobs=2,
+                    initializer=_set_parent_pid, initargs=(os.getpid(),),
+                )
+        assert excinfo.value.item_range == (1, 2)
 
     def test_chunk_timeout_validation(self, monkeypatch):
         with pytest.raises(ValueError, match="chunk_timeout"):

@@ -99,3 +99,63 @@ class TestServeTelemetry:
     def test_histograms_created_lazily_once(self):
         telemetry = ServeTelemetry()
         assert telemetry.histogram("a") is telemetry.histogram("a")
+
+
+class TestMerge:
+    @staticmethod
+    def _loaded(seed_counters, latencies, events):
+        telemetry = ServeTelemetry()
+        for name, amount in seed_counters.items():
+            telemetry.inc(name, amount)
+        for name, seconds in latencies:
+            telemetry.observe(name, seconds)
+        for kind in events:
+            telemetry.event(kind, hour=len(events))
+        return telemetry
+
+    def test_histogram_merge_pools_counts(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for seconds in (0.001, 0.010, 0.100):
+            a.record(seconds)
+        b.record(0.500)
+        a.merge_from(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(0.611)
+        assert a.max == pytest.approx(0.5)
+        # Pooled quantiles equal a single histogram fed both streams.
+        both = LatencyHistogram()
+        for seconds in (0.001, 0.010, 0.100, 0.500):
+            both.record(seconds)
+        assert a.quantile(0.5) == both.quantile(0.5)
+        assert a.quantile(0.99) == both.quantile(0.99)
+
+    def test_histogram_merge_rejects_mismatched_buckets(self):
+        with pytest.raises(ValueError, match="bucket boundaries"):
+            LatencyHistogram().merge_from(LatencyHistogram(n_buckets=8))
+
+    def test_merge_sums_counters_and_events(self):
+        a = self._loaded({"ticks": 3, "alerts": 1}, [("lat", 0.2)], ["gap_fill"])
+        b = self._loaded({"ticks": 5}, [("lat", 0.4), ("other", 0.1)], [])
+        merged = a.merge([b])
+        stats = merged.stats()
+        assert stats["counters"]["ticks"] == 8
+        assert stats["counters"]["alerts"] == 1
+        assert stats["counters"]["events_gap_fill"] == 1
+        assert stats["latency"]["lat"]["count"] == 2
+        assert stats["latency"]["other"]["count"] == 1
+        assert stats["events"]["seen"] == 1
+
+    def test_merge_is_commutative(self):
+        a = self._loaded({"ticks": 3}, [("lat", 0.2), ("lat", 0.9)], ["x"])
+        b = self._loaded({"ticks": 4, "hits": 2}, [("lat", 0.05)], ["y", "z"])
+        c = self._loaded({}, [("ingest", 1.5)], [])
+        assert a.merge([b, c]).stats() == c.merge([a, b]).stats()
+        assert a.merge([b]).stats() == b.merge([a]).stats()
+
+    def test_merge_leaves_operands_untouched(self):
+        a = self._loaded({"ticks": 1}, [("lat", 0.1)], [])
+        b = self._loaded({"ticks": 2}, [("lat", 0.2)], [])
+        before_a, before_b = a.stats(), b.stats()
+        a.merge([b])
+        assert a.stats() == before_a
+        assert b.stats() == before_b
