@@ -187,18 +187,38 @@ def _restore_ingestor(args: argparse.Namespace) -> tuple["object", int]:
     return ingestor, ingestor.hours_seen
 
 
-def _replay_events(guarded, dataset, start_hour: int, end_day: int) -> int:
+def _replay_events(
+    guarded, dataset, start_hour: int, end_day: int, batch_hours: int = 1
+) -> int:
     """Drive the guarded service over the dataset's hours, streaming
-    events as JSON lines on stdout.  Returns the alert count."""
+    events as JSON lines on stdout.  Returns the alert count.
+
+    ``batch_hours`` > 1 submits columnar micro-batches through the
+    guard's ``submit_block`` fast path (bitwise-identical events and
+    state, one WAL flush per day chunk); 1 is the classic per-hour
+    loop.  The effective setting is recorded in the telemetry counters
+    as ``replay_batch_hours``.
+    """
     kpis = dataset.kpis
+    end_hour = end_day * HOURS_PER_DAY
+    guarded.telemetry.inc("replay_batch_hours", batch_hours)
     alerts = 0
-    for hour in range(start_hour, end_day * HOURS_PER_DAY):
-        events = guarded.submit_tick(
-            kpis.values[:, hour, :],
-            kpis.missing[:, hour, :],
-            dataset.calendar[hour],
-            hour=hour,
-        )
+    for hour in range(start_hour, end_hour, batch_hours):
+        if batch_hours == 1:
+            events = guarded.submit_tick(
+                kpis.values[:, hour, :],
+                kpis.missing[:, hour, :],
+                dataset.calendar[hour],
+                hour=hour,
+            )
+        else:
+            stop = min(hour + batch_hours, end_hour)
+            events = guarded.submit_block(
+                kpis.values[:, hour:stop, :],
+                kpis.missing[:, hour:stop, :],
+                dataset.calendar[hour:stop],
+                first_hour=hour,
+            )
         for event in events:
             if event.get("type") == "alert":
                 alerts += 1
@@ -219,6 +239,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--horizons, --window, and --top-k must all be >= 1",
             file=sys.stderr,
         )
+        return 1
+    if args.batch_hours < 1:
+        print("--batch-hours must be >= 1", file=sys.stderr)
         return 1
     dataset = _prepare(args.data, args.impute_epochs, quiet=args.quiet, file=sys.stderr)
     n_days = dataset.time_axis.n_days
@@ -303,7 +326,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         # Replay mode: drive the resilient service with the dataset's hours.
         end_day = n_days if args.max_days is None else min(args.max_days, n_days)
-        alerts = _replay_events(guarded, dataset, start_hour, end_day)
+        alerts = _replay_events(
+            guarded, dataset, start_hour, end_day, batch_hours=args.batch_hours
+        )
         stats = guarded.stats()
         _info(
             f"replayed {end_day} days: {alerts} alerts, "
@@ -469,6 +494,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.shards is not None and args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 1
+    if args.batch_hours < 1:
+        print("--batch-hours must be >= 1", file=sys.stderr)
+        return 1
     dataset = _prepare(args.data, args.impute_epochs, quiet=args.quiet, file=sys.stderr)
     n_days = dataset.time_axis.n_days
     if not 0 < args.train_day < n_days:
@@ -549,7 +577,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             return 0
 
         end_day = n_days if args.max_days is None else min(args.max_days, n_days)
-        alerts = _replay_events(fleet, dataset, fleet.clock, end_day)
+        alerts = _replay_events(
+            fleet, dataset, fleet.clock, end_day, batch_hours=args.batch_hours
+        )
         stats = fleet.stats()
         _info(
             f"replayed {end_day} days over {stats['fleet']['n_shards']} shards: "
@@ -647,6 +677,10 @@ def build_parser() -> argparse.ArgumentParser:
                      "(enables crash recovery)")
     srv.add_argument("--snapshot-every", type=int, default=168,
                      help="hours between state snapshots (default: one week)")
+    srv.add_argument("--batch-hours", type=int, default=1,
+                     help="hours per replay micro-batch (1 = per-hour ticks; "
+                          "larger batches take the columnar fast path with "
+                          "identical events)")
     srv.add_argument("--resume", action="store_true",
                      help="restore state from --checkpoint-dir and continue "
                      "the replay from the recovered hour")
@@ -740,6 +774,10 @@ def build_parser() -> argparse.ArgumentParser:
     fl.add_argument("--resume", action="store_true",
                     help="recover every shard from --checkpoint-dir and "
                     "continue the replay from the merged watermark")
+    fl.add_argument("--batch-hours", type=int, default=1,
+                    help="hours per replay micro-batch (1 = per-hour ticks; "
+                         "larger batches broadcast columnar blocks with "
+                         "identical merged events)")
     fl.set_defaults(func=_cmd_fleet)
     return parser
 

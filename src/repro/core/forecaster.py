@@ -212,9 +212,27 @@ class HotSpotForecaster:
         directly from ring buffers (:mod:`repro.serve.ingest`) and calls
         this method, skipping full feature-tensor construction.
         """
+        return self.forecast_design(self.build_design(window_values))
+
+    def build_design(self, window_values: np.ndarray) -> np.ndarray:
+        """Apply this model's feature view to a window block.
+
+        Exposed separately from :meth:`forecast_window` so the serving
+        layer can build the design matrix once per ``(t_day, window,
+        feature_view)`` and reuse it across horizons — every horizon's
+        model for the same name shares the same view of the same window.
+        """
+        return self._view(np.asarray(window_values, dtype=np.float64))
+
+    def forecast_design(self, design: np.ndarray) -> np.ndarray:
+        """Hot spot probabilities from a prebuilt design matrix.
+
+        *design* must be the output of :meth:`build_design` (or a
+        bitwise-equal assembly of it, e.g. the serving engine's per-day
+        percentile concatenation).
+        """
         if self._model is None and getattr(self, "_constant", None) is None:
             raise RuntimeError("forecaster is not fitted; call fit() first")
-        design = self._view(np.asarray(window_values, dtype=np.float64))
         if self._model is None:
             return np.full(design.shape[0], self._constant)
         proba = self._model.predict_proba(design)

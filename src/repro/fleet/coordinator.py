@@ -101,6 +101,9 @@ class SerialBackend:
 
     name = "serial"
 
+    #: No broadcast buffer to size: blocks pass whole (None = unlimited).
+    block_capacity: int | None = None
+
     def __init__(self, workers: list[ShardWorker]) -> None:
         self.workers = workers
 
@@ -126,6 +129,20 @@ class SerialBackend:
                 values[worker.sector_ids, :],
                 missing[worker.sector_ids, :],
                 calendar_row,
+            )
+            for worker in self.workers
+        ]
+
+    def submit_block(
+        self, first_hour, values, missing, calendar_rows, released_before=None
+    ) -> list[list[dict]]:
+        return [
+            worker.submit_block(
+                first_hour,
+                values[worker.sector_ids, :, :],
+                missing[worker.sector_ids, :, :],
+                calendar_rows,
+                released_before=released_before,
             )
             for worker in self.workers
         ]
@@ -189,10 +206,26 @@ def _host_main(conn, specs, directory, plan, config, shard_ids, resume) -> None:
             try:
                 if op == "tick":
                     hour = request[1]
-                    row = calendar.copy() if flags[0] else None
+                    row = calendar[0].copy() if flags[0] else None
                     payload = [
                         w.submit(
-                            hour, values[w.sector_ids, :], missing[w.sector_ids, :], row
+                            hour,
+                            values[w.sector_ids, 0, :],
+                            missing[w.sector_ids, 0, :],
+                            row,
+                        )
+                        for w in workers
+                    ]
+                elif op == "tick_block":
+                    _, first_hour, n_hours, released_before = request
+                    rows = calendar[:n_hours].copy() if flags[0] else None
+                    payload = [
+                        w.submit_block(
+                            first_hour,
+                            values[w.sector_ids, :n_hours, :],
+                            missing[w.sector_ids, :n_hours, :],
+                            rows,
+                            released_before=released_before,
                         )
                         for w in workers
                     ]
@@ -235,6 +268,11 @@ class ProcessBackend:
 
     name = "process"
 
+    #: Hours per shared-memory broadcast; larger blocks are split by the
+    #: coordinator.  One day keeps the mapping small while amortising
+    #: the pipe round-trip 24× over per-hour driving.
+    block_capacity: int = HOURS_PER_DAY
+
     def __init__(
         self,
         directory: Path,
@@ -254,11 +292,19 @@ class ProcessBackend:
         groups = partition(list(range(plan.n_shards)), jobs)
         if len(groups) < 2:
             raise PoolUnavailable("process backend needs >= 2 worker groups")
+        # Broadcast buffers hold up to ``block_capacity`` hours; a
+        # single tick uses column 0, micro-batches fill a prefix and
+        # ship only (first_hour, n_hours) down the pipe.
         self._bundle = SharedArrayBundle.create(
             {
-                "values": np.zeros((config.n_sectors, config.n_kpis)),
-                "missing": np.zeros((config.n_sectors, config.n_kpis), dtype=bool),
-                "calendar": np.zeros(5),
+                "values": np.zeros(
+                    (config.n_sectors, self.block_capacity, config.n_kpis)
+                ),
+                "missing": np.zeros(
+                    (config.n_sectors, self.block_capacity, config.n_kpis),
+                    dtype=bool,
+                ),
+                "calendar": np.zeros((self.block_capacity, 5)),
                 "flags": np.zeros(1),
             },
             writable=True,
@@ -319,14 +365,39 @@ class ProcessBackend:
         return payload
 
     def submit_hour(self, hour, values, missing, calendar_row) -> list[dict]:
-        self._bundle["values"][...] = values
-        self._bundle["missing"][...] = missing
+        self._bundle["values"][:, 0, :] = values
+        self._bundle["missing"][:, 0, :] = missing
         if calendar_row is None:
             self._bundle["flags"][0] = 0.0
         else:
             self._bundle["flags"][0] = 1.0
-            self._bundle["calendar"][...] = calendar_row
+            self._bundle["calendar"][0, :] = calendar_row
         return self._roundtrip(("tick", int(hour)))
+
+    def submit_block(
+        self, first_hour, values, missing, calendar_rows, released_before=None
+    ) -> list[list[dict]]:
+        n_hours = int(values.shape[1])
+        if n_hours > self.block_capacity:
+            raise ValueError(
+                f"block of {n_hours} hours exceeds the broadcast capacity "
+                f"{self.block_capacity}"
+            )
+        self._bundle["values"][:, :n_hours, :] = values
+        self._bundle["missing"][:, :n_hours, :] = missing
+        if calendar_rows is None:
+            self._bundle["flags"][0] = 0.0
+        else:
+            self._bundle["flags"][0] = 1.0
+            self._bundle["calendar"][:n_hours, :] = calendar_rows
+        return self._roundtrip(
+            (
+                "tick_block",
+                int(first_hour),
+                n_hours,
+                None if released_before is None else int(released_before),
+            )
+        )
 
     def ring(self, hour: int) -> list:
         return self._roundtrip(("ring", int(hour)))
@@ -452,6 +523,109 @@ class FleetCoordinator:
                 self.clock, verdict.values, verdict.missing, verdict.calendar_row
             )
         )
+        write_json_atomic(
+            self.directory / WATERMARK_NAME, {"emitted_hours": self.clock}
+        )
+        return events
+
+    def submit_block(
+        self,
+        values,
+        missing=None,
+        calendar_rows=None,
+        first_hour: int | None = None,
+    ) -> list[dict]:
+        """Validate, broadcast, and merge a micro-batch of hours.
+
+        Fleet twin of :meth:`ResilientHotSpotService.submit_block`:
+        every column is probe-validated against the clock it would meet
+        in per-hour order; a block of plain accepts is broadcast to the
+        shards in ``block_capacity`` slices (each shard applies and
+        journals it in day chunks) and the per-hour fragments are merged
+        in order, producing the identical event stream.  Any quarantine,
+        duplicate, or gap verdict discards the probe and replays the
+        original columns through per-hour :meth:`submit_tick`.  The
+        watermark advances once, after the whole block is merged — a
+        mid-block crash re-drives from the last acknowledged hour and
+        shards re-emit what they already journaled.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 3:
+            raise ValueError(
+                f"values must be (n_sectors, n_hours, n_kpis), got {values.shape}"
+            )
+        if missing is not None:
+            missing = np.asarray(missing, dtype=bool)
+        if calendar_rows is not None:
+            calendar_rows = np.asarray(calendar_rows, dtype=np.float64)
+        n_hours = values.shape[1]
+        if n_hours == 0:
+            return []
+        verdicts = []
+        for j in range(n_hours):
+            verdict = self.validator.validate(
+                values[:, j, :],
+                None if missing is None else missing[:, j, :],
+                None if calendar_rows is None else calendar_rows[j],
+                hour=None if first_hour is None else first_hour + j,
+                clock=self.clock + j,
+                ring_payload=self._ring_payload,
+            )
+            if verdict.action != ACCEPT or verdict.gap_hours != 0:
+                break
+            verdicts.append(verdict)
+        if len(verdicts) < n_hours:
+            events: list[dict] = []
+            for j in range(n_hours):
+                events.extend(
+                    self.submit_tick(
+                        values[:, j, :],
+                        None if missing is None else missing[:, j, :],
+                        None if calendar_rows is None else calendar_rows[j],
+                        hour=None if first_hour is None else first_hour + j,
+                    )
+                )
+            return events
+        block_values = np.stack([v.values for v in verdicts], axis=1)
+        block_missing = np.stack([v.missing for v in verdicts], axis=1)
+        calendar_block = (
+            None
+            if calendar_rows is None
+            else np.stack([v.calendar_row for v in verdicts])
+        )
+        events = []
+        capacity = self.backend.block_capacity or n_hours
+        # The acknowledged boundary for this whole block: shards keep
+        # every non-trivial response from here on so a mid-block crash
+        # re-emits faithfully across capacity slices and day chunks.
+        released = self.clock
+        start = 0
+        while start < n_hours:
+            stop = min(start + capacity, n_hours)
+            hour0 = self.clock
+            responses = self.backend.submit_block(
+                hour0,
+                block_values[:, start:stop, :],
+                block_missing[:, start:stop, :],
+                None if calendar_block is None else calendar_block[start:stop],
+                released_before=released,
+            )
+            if (
+                self.kill_at is not None
+                and self.kill_at[0] == "mid_merge"
+                and hour0 <= self.kill_at[1] < hour0 + (stop - start)
+            ):
+                self.kill_at = None
+                raise SimulatedKill(
+                    f"simulated crash: coordinator at mid_merge of block "
+                    f"[{hour0}, {hour0 + stop - start})"
+                )
+            self.clock = hour0 + (stop - start)
+            for j in range(stop - start):
+                events.extend(
+                    self._merge(hour0 + j, [shard[j] for shard in responses])
+                )
+            start = stop
         write_json_atomic(
             self.directory / WATERMARK_NAME, {"emitted_hours": self.clock}
         )
@@ -754,14 +928,15 @@ def recovered_clock(directory: str | Path, shard_hours: list[int]) -> int:
     """The resume clock implied by the watermark and the shard WALs.
 
     ``m = min(shard hours)`` bounds how far every shard verifiably got;
-    the watermark ``w`` records the last acknowledged hour + 1.  A crash
-    between the last shard's journal append and the watermark write
-    leaves ``w = m - 1``: hour ``m - 1`` was applied everywhere but its
-    events may never have reached the consumer, so the fleet re-drives
-    it (shards re-emit their persisted responses — at-most-once with
-    respect to the watermark, exactly once with respect to the WALs).
-    ``w`` can never validly exceed ``m``; clamping guards against a
-    hand-edited watermark.
+    the watermark ``w`` records the last acknowledged hour + 1.  The
+    fleet resumes from ``w``: everything before it was released to the
+    consumer, everything in ``[w, m)`` was journaled by (some or all)
+    shards but never acknowledged — a per-hour crash leaves that window
+    at most one hour wide, a mid-block crash up to a block wide — and
+    re-driving it makes shards re-emit their persisted responses
+    (at-most-once with respect to the watermark, exactly once with
+    respect to the WALs).  ``w`` can never validly exceed ``m``;
+    clamping guards against a hand-edited watermark.
     """
     m = min(shard_hours)
     path = Path(directory) / WATERMARK_NAME
@@ -770,4 +945,4 @@ def recovered_clock(directory: str | Path, shard_hours: list[int]) -> int:
         watermark = int(
             json.loads(path.read_text(encoding="utf-8"))["emitted_hours"]
         )
-    return max(0, min(max(watermark, m - 1), m))
+    return max(0, min(watermark, m))

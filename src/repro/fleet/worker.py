@@ -26,8 +26,10 @@ Crash consistency per tick (apply → journal → acknowledge):
 2. apply — engine ingest, fragment computation, lifecycle day hook
    (which commits its own ``lifecycle.json`` first, see DESIGN.md 3e),
    dark-tracker update;
-3. persist the response as ``last_events.json`` (atomic, only when the
-   response is non-trivial — the empty ⇔ not-persisted invariant);
+3. persist the response into ``last_events.json`` (atomic, only when
+   the response is non-trivial — the empty ⇔ not-persisted invariant;
+   the file holds every non-trivial response since the coordinator's
+   acknowledged boundary, so mid-block crashes re-emit faithfully);
 4. journal the tick into the WAL (fsynced append, the commit point).
 
 A worker killed anywhere in that sequence recovers to a state from
@@ -69,7 +71,8 @@ __all__ = [
     "build_worker",
 ]
 
-#: Per-shard file holding the last non-trivial tick response.
+#: Per-shard file holding the non-trivial responses of the current
+#: unacknowledged window, keyed by hour (``{"hours": {hour: response}}``).
 EVENTS_NAME = "last_events.json"
 
 #: Hours a sector must be fully missing before it is considered dark
@@ -170,7 +173,7 @@ class ShardWorker:
         dark: DarkSectorTracker,
         controller: LifecycleController | None = None,
         events_path: Path | None = None,
-        last_response: dict | None = None,
+        responses: dict | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.sector_ids = np.asarray(sector_ids, dtype=np.int64)
@@ -181,7 +184,7 @@ class ShardWorker:
         self.dark = dark
         self.controller = controller
         self._events_path = events_path
-        self._last_response = last_response
+        self._responses: dict[int, dict] = dict(responses or {})
         #: ``(point, hour)`` → raise :class:`SimulatedKill` at that seam.
         self.kill_at: tuple | None = None
 
@@ -234,9 +237,8 @@ class ShardWorker:
             )
         if tick.day_completed:
             response["dark_mask"] = [bool(x) for x in self.dark.dark_mask]
-        if self._nontrivial(response) and self._events_path is not None:
-            write_json_atomic(self._events_path, response)
-            self._last_response = response
+        if self._nontrivial(response):
+            self._persist_responses({hour: response})
         self._maybe_kill("mid_journal", hour)
         if calendar_row is None:
             calendar_row = self.ingestor._default_calendar_row(hour)
@@ -244,21 +246,161 @@ class ShardWorker:
         self._maybe_kill("post_journal", hour)
         return response
 
+    def submit_block(
+        self,
+        first_hour: int,
+        values: np.ndarray,
+        missing: np.ndarray,
+        calendar_rows: np.ndarray | None,
+        released_before: int | None = None,
+    ) -> list[dict]:
+        """Apply a micro-batch of validated consecutive hours.
+
+        Returns one response dict per block column, identical to what
+        per-hour :meth:`submit` calls would produce.  Hours below the
+        shard clock re-emit (the post-journal crash window covers whole
+        journaled chunks after a mid-block crash); the remainder is
+        applied in day-aligned chunks via the columnar engine ingest,
+        with the per-hour crash contract at chunk granularity: persist
+        every non-trivial response of the chunk, then journal the whole
+        chunk with one batched WAL flush.  A crash mid-chunk leaves
+        every hour of that chunk out of the journal, so the coordinator
+        re-drives the chunk from its first hour on resume.
+
+        *released_before* is the coordinator's acknowledged boundary
+        (its watermark at block entry): persisted responses at or past
+        it must survive this call's persists, because a crash anywhere
+        in the block re-drives from that boundary and every non-trivial
+        hour since then must re-emit faithfully — not collapse to the
+        trivial response.  When ``None`` (direct single-call use) the
+        block's own first hour is the boundary.
+
+        Kill seams fire when the armed hour falls anywhere inside the
+        chunk being processed — ``mid_apply`` before the chunk is
+        applied, ``mid_journal``/``post_journal`` around its WAL append.
+        """
+        keep_from = int(first_hour if released_before is None else released_before)
+        first_hour = int(first_hour)
+        n_hours = int(values.shape[1])
+        clock = self.ingestor.hours_seen
+        responses: list[dict] = []
+        start = 0
+        while start < n_hours and first_hour + start < clock:
+            responses.append(self._reemit(first_hour + start))
+            start += 1
+        if start == n_hours:
+            return responses
+        if first_hour + start != clock:
+            raise FleetProtocolError(
+                f"shard {self.shard_id} at hour {clock} was driven with "
+                f"hour {first_hour + start}"
+            )
+        while start < n_hours:
+            hour0 = first_hour + start
+            to_boundary = HOURS_PER_DAY - hour0 % HOURS_PER_DAY
+            stop = min(start + to_boundary, n_hours)
+            self.checkpoint.maybe_snapshot(self.ingestor)
+            self._maybe_kill_range("mid_apply", hour0, first_hour + stop)
+            ticks = self.engine.ingest_block(
+                values[:, start:stop, :],
+                missing[:, start:stop, :],
+                None if calendar_rows is None else calendar_rows[start:stop],
+            )
+            chunk: list[dict] = []
+            for j, tick in enumerate(ticks):
+                hour = hour0 + j
+                response = self._trivial_response(hour)
+                response["day_completed"] = bool(tick.day_completed)
+                response["t_day"] = int(tick.t_day)
+                if tick.day_completed:
+                    labels = self.ingestor.labels_daily
+                    hot_local = np.flatnonzero(labels[:, tick.t_day] == 1)
+                    response["hot"] = [int(self.sector_ids[i]) for i in hot_local]
+                    if tick.t_day >= self.config.start_day:
+                        for horizon in self.config.horizons:
+                            scores = self.engine.predict(int(horizon))
+                            response["scores"][str(int(horizon))] = [
+                                float(s) for s in scores
+                            ]
+                    if self.controller is not None:
+                        response["lifecycle"] = self.controller.on_day(tick)
+                newly_dark = self.dark.observe(missing[:, start + j, :])
+                for local in newly_dark:
+                    response["dark_new"].append(
+                        [
+                            int(self.sector_ids[int(local)]),
+                            int(self.dark.missing_run(int(local))),
+                        ]
+                    )
+                if tick.day_completed:
+                    response["dark_mask"] = [bool(x) for x in self.dark.dark_mask]
+                chunk.append(response)
+            fresh = {
+                hour0 + j: response
+                for j, response in enumerate(chunk)
+                if self._nontrivial(response)
+            }
+            if fresh:
+                self._persist_responses(fresh, keep_from=keep_from)
+            self._maybe_kill_range("mid_journal", hour0, first_hour + stop)
+            if calendar_rows is None:
+                calendar_block = np.stack(
+                    [
+                        self.ingestor._default_calendar_row(h)
+                        for h in range(hour0, first_hour + stop)
+                    ]
+                )
+            else:
+                calendar_block = calendar_rows[start:stop]
+            self.checkpoint.record_block(
+                hour0,
+                values[:, start:stop, :],
+                missing[:, start:stop, :],
+                calendar_block,
+            )
+            self._maybe_kill_range("post_journal", hour0, first_hour + stop)
+            responses.extend(chunk)
+            start = stop
+        return responses
+
     def _reemit(self, hour: int) -> dict:
         """Response for an hour already journaled by this shard.
 
         Non-trivial responses were persisted *before* the journal append
         (the empty ⇔ not-persisted invariant), so a journaled hour with
-        no persisted record was trivial — reconstruct it.  Hours older
-        than the last one only occur when the coordinator replays a
+        no persisted record was trivial — reconstruct it.  The store
+        covers every hour since the coordinator's acknowledged boundary;
+        hours older than that only occur when the coordinator replays a
         window the consumer already saw (at-most-once delivery,
-        DESIGN.md 3f); their persisted records are gone, so they
-        re-emit as trivial.
+        DESIGN.md 3f), and re-emit as trivial.
         """
-        persisted = self._last_response
-        if persisted is not None and int(persisted.get("hour", -1)) == hour:
+        persisted = self._responses.get(int(hour))
+        if persisted is not None:
             return persisted
         return self._trivial_response(hour)
+
+    def _persist_responses(self, fresh: dict, keep_from: int | None = None) -> None:
+        """Atomically persist non-trivial responses for the re-emit path.
+
+        Per-hour ticks are acknowledged every call, so only the current
+        hour is retained (*keep_from* ``None``).  Block submissions
+        acknowledge nothing until the whole coordinator block returns,
+        so entries at or past *keep_from* — the acknowledged boundary —
+        survive later chunks' persists.
+        """
+        if keep_from is None:
+            store = {int(h): r for h, r in fresh.items()}
+        else:
+            store = {
+                h: r for h, r in self._responses.items() if h >= int(keep_from)
+            }
+            store.update({int(h): r for h, r in fresh.items()})
+        self._responses = store
+        if self._events_path is not None:
+            write_json_atomic(
+                self._events_path,
+                {"hours": {str(h): store[h] for h in sorted(store)}},
+            )
 
     def _trivial_response(self, hour: int) -> dict:
         return {
@@ -286,6 +428,17 @@ class ShardWorker:
             raise SimulatedKill(
                 f"simulated crash: shard {self.shard_id} at {point} of hour {hour}"
             )
+
+    def _maybe_kill_range(self, point: str, lo: int, hi: int) -> None:
+        """Block-path kill seam: fire when the armed hour is in [lo, hi)."""
+        if self.kill_at is not None and self.kill_at[0] == point:
+            hour = self.kill_at[1]
+            if lo <= hour < hi:
+                self.kill_at = None
+                raise SimulatedKill(
+                    f"simulated crash: shard {self.shard_id} at {point} of "
+                    f"hour {hour} (block chunk [{lo}, {hi}))"
+                )
 
     # ------------------------------------------------------------ queries
     def ring_payload(self, hour: int):
@@ -383,9 +536,13 @@ def build_worker(
             n_jobs=1,
         )
     events_path = shard_dir / EVENTS_NAME
-    last_response = None
+    responses: dict[int, dict] = {}
     if resume and events_path.exists():
-        last_response = json.loads(events_path.read_text(encoding="utf-8"))
+        payload = json.loads(events_path.read_text(encoding="utf-8"))
+        if "hours" in payload:
+            responses = {int(h): r for h, r in payload["hours"].items()}
+        elif "hour" in payload:  # pre-block single-response layout
+            responses = {int(payload["hour"]): payload}
     return ShardWorker(
         shard_id=shard_id,
         sector_ids=sector_ids,
@@ -396,7 +553,7 @@ def build_worker(
         dark=dark,
         controller=controller,
         events_path=events_path,
-        last_response=last_response,
+        responses=responses,
     )
 
 

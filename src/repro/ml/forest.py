@@ -132,6 +132,7 @@ class RandomForestClassifier:
         # Aggregate in tree order so floating-point reductions match the
         # serial path regardless of which worker finished first.
         self.estimators_ = trees
+        self._packed_ = None
         self._class_positions_ = [self._position_map(tree) for tree in trees]
         importances = np.zeros(X.shape[1])
         oob_sum = np.zeros((n_samples, n_classes))
@@ -249,13 +250,35 @@ class RandomForestClassifier:
         out[:, positions] = member_proba
         return out
 
+    def packed(self):
+        """The packed struct-of-arrays predict kernel, built lazily.
+
+        Packing walks every member once; the result is cached on the
+        forest so long-running services (registry warm LRU, serving
+        engines) pay it once per loaded model.  :meth:`fit` invalidates
+        the cache.
+        """
+        self._check_fitted()
+        cached = getattr(self, "_packed_", None)
+        if cached is None:
+            from repro.ml.packed import PackedForest
+
+            cached = PackedForest.from_forest(self)
+            self._packed_ = cached
+        return cached
+
     def predict_proba(self, X: np.ndarray, n_jobs: int | None = None) -> np.ndarray:
         """Bagged class probabilities: the mean over member trees.
 
+        The default path walks the packed struct-of-arrays kernel
+        (:meth:`packed`) — one vectorized node-index walk over all
+        ``(n_samples × n_trees)`` lanes — and is bitwise identical to
+        the legacy per-tree loop (:meth:`predict_proba_legacy`).
+
         *n_jobs* overrides the constructor's worker count for this call;
-        row blocks are distributed across processes, each computing the
-        full tree-order average for its rows, so the result is identical
-        to the serial path.
+        row blocks are distributed across processes, each walking the
+        same packed kernel for its rows, so the result is identical to
+        the serial path.
         """
         self._check_fitted()
         X = np.asarray(X, dtype=np.float64)
@@ -271,8 +294,19 @@ class RandomForestClassifier:
             try:
                 return predict_proba_parallel(self, X, jobs)
             except ForestParallelUnavailable:
-                pass  # degrade to the serial loop below
+                pass  # degrade to the serial packed walk below
 
+        return self.packed().predict_proba(X)
+
+    def predict_proba_legacy(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-tree prediction loop.
+
+        Kept as the parity oracle for the packed kernel: one active-lane
+        walk and one class scatter per member, accumulated in tree
+        order.  ``predict_proba`` must match this bitwise.
+        """
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
         positions = self._member_positions()
         total = np.zeros((X.shape[0], self.classes_.size))
         for tree, position in zip(self.estimators_, positions):

@@ -20,6 +20,7 @@ than per-sample recursion.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -445,9 +446,9 @@ class DecisionTreeClassifier:
         """
         self._check_fitted()
         out: list[int] = []
-        queue = [0]
+        queue = deque([0])
         while queue and (max_splits is None or len(out) < max_splits):
-            node = queue.pop(0)
+            node = queue.popleft()
             if self._feature[node] == _LEAF:
                 continue
             out.append(int(self._feature[node]))

@@ -12,13 +12,13 @@ and the parent reassembles members, importances, and OOB votes in tree
 order, so reductions see the same floating-point addition order too.
 
 Prediction parallelises over **row chunks** instead of trees: each
-worker holds the whole forest (rebuilt once per worker from flat tree
-states) and computes the full bagged average for its rows, which keeps
-per-row summation order identical to the serial path — concatenating
-row blocks is exact, re-associating tree sums would not be.
-
-The design matrices travel through shared memory; everything else is a
-few KB of seeds and node arrays.
+worker walks the forest's packed struct-of-arrays kernel
+(:class:`repro.ml.packed.PackedForest`) for its rows and computes the
+full bagged average, which keeps per-row summation order identical to
+the serial path — concatenating row blocks is exact, re-associating
+tree sums would not be.  The packed buffers travel through the same
+shared-memory bundle as the design matrix, so workers attach views
+instead of unpickling every member tree.
 """
 
 from __future__ import annotations
@@ -141,50 +141,51 @@ def fit_trees_parallel(
 
 # --------------------------------------------------------------- predict
 _PREDICT_BUNDLE: SharedArrayBundle | None = None
-_PREDICT_FOREST = None
+_PREDICT_PACKED = None
 
 
 def _init_predict_worker(specs: dict[str, SharedArraySpec], payload: dict) -> None:
-    global _PREDICT_BUNDLE, _PREDICT_FOREST
-    from repro.ml.forest import RandomForestClassifier
+    global _PREDICT_BUNDLE, _PREDICT_PACKED
+    from repro.ml.packed import PackedForest
 
     _PREDICT_BUNDLE = SharedArrayBundle.attach(specs)
-    forest = RandomForestClassifier(n_estimators=len(payload["tree_states"]))
-    forest.classes_ = np.asarray(payload["classes"])
-    forest.estimators_ = [
-        DecisionTreeClassifier.from_state(state) for state in payload["tree_states"]
-    ]
-    forest.n_jobs = 1
-    _PREDICT_FOREST = forest
+    _PREDICT_PACKED = PackedForest.from_arrays(
+        {name: _PREDICT_BUNDLE[name] for name in PackedForest.ARRAY_NAMES},
+        n_features=payload["n_features"],
+        n_estimators=payload["n_estimators"],
+    )
 
 
 def _predict_row_chunk(bounds: list[tuple[int, int]]) -> list[np.ndarray]:
     X = _PREDICT_BUNDLE["X"]
     return [
-        _PREDICT_FOREST.predict_proba(X[start:stop]) for start, stop in bounds
+        _PREDICT_PACKED.predict_proba(X[start:stop]) for start, stop in bounds
     ]
 
 
 def predict_proba_parallel(forest, X: np.ndarray, n_jobs: int) -> np.ndarray:
     """Bagged class probabilities for *X*, row-parallel across a pool.
 
-    Each worker computes the complete tree-order average for its row
-    block, so every row's floating-point summation order matches the
-    serial path exactly; blocks concatenate back in order.
+    Each worker walks the packed kernel's complete tree-order average
+    for its row block, so every row's floating-point summation order
+    matches the serial path exactly; blocks concatenate back in order.
     """
     n_rows = X.shape[0]
     jobs = effective_jobs(n_jobs, n_rows)
     if jobs == 1 or n_rows < 2 * jobs:
         raise ForestParallelUnavailable("too little work; predict serially")
 
+    packed = forest.packed()
+    arrays = {"X": np.ascontiguousarray(X)}
+    arrays.update(packed.arrays())
     try:
-        bundle = SharedArrayBundle.create({"X": np.ascontiguousarray(X)})
+        bundle = SharedArrayBundle.create(arrays)
     except SharedMemoryUnavailable as error:
         raise ForestParallelUnavailable(str(error)) from error
 
     payload = {
-        "classes": forest.classes_,
-        "tree_states": [tree.to_state() for tree in forest.estimators_],
+        "n_features": packed.n_features,
+        "n_estimators": packed.n_estimators,
     }
     bound_chunks = [
         [(chunk[0], chunk[-1] + 1)]

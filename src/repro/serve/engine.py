@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.baselines import BaselineModel
+from repro.core.feature_sets import percentile_features
 from repro.serve.ingest import IngestTick, StreamIngestor
 from repro.serve.registry import ModelKey, ModelRegistry
 from repro.serve.telemetry import ServeTelemetry
@@ -71,6 +72,15 @@ class PredictionEngine:
         self.default_window = window
         self.telemetry = telemetry or ServeTelemetry()
         self._cache: dict[tuple[int, str, int | None, int, int], np.ndarray] = {}
+        # Design matrices shared across horizons: every horizon's model
+        # for the same name applies the same feature view to the same
+        # window, so the (usually expensive) view runs once per day.
+        self._design_cache: dict[tuple[int, int, str], np.ndarray] = {}
+        # Per-day Eq. 5 percentile blocks.  A completed day's ring
+        # columns never change, so its (n, channels * 5) percentile
+        # block is computed once ever and windows are assembled by
+        # concatenation instead of re-reducing w days of hours.
+        self._day_pct: dict[int, np.ndarray] = {}
         # Lifecycle pins: model name -> registry version served for it.
         # Unpinned names resolve to the unversioned registry entry, the
         # PR 1 behaviour.
@@ -114,11 +124,46 @@ class PredictionEngine:
             tick = self.ingestor.ingest_hour(values, missing, calendar_row)
         self.telemetry.inc("ingest_ticks")
         if tick.day_completed:
-            self._cache.clear()
+            self._roll_day()
             self.telemetry.inc("days_completed")
         if tick.week_completed:
             self.telemetry.inc("weeks_completed")
         return tick
+
+    def ingest_block(
+        self,
+        values: np.ndarray,
+        missing: np.ndarray | None = None,
+        calendar_rows: np.ndarray | None = None,
+    ) -> list[IngestTick]:
+        """Ingest a micro-batch of consecutive hours as one array op.
+
+        Delegates to :meth:`StreamIngestor.ingest_block` (bitwise equal
+        to per-hour ingestion) and applies the same cache/telemetry
+        bookkeeping per completed period.  Callers that emit per-day
+        events (the service layer) must split their blocks at day
+        boundaries themselves; at engine level a mid-block rollover
+        only means the day cache is cleared before the next predict.
+        """
+        with self.telemetry.timer("ingest_seconds"):
+            ticks = self.ingestor.ingest_block(values, missing, calendar_rows)
+        self.telemetry.inc("ingest_ticks", len(ticks))
+        for tick in ticks:
+            if tick.day_completed:
+                self._roll_day()
+                self.telemetry.inc("days_completed")
+            if tick.week_completed:
+                self.telemetry.inc("weeks_completed")
+        return ticks
+
+    def _roll_day(self) -> None:
+        """Day rollover: drop forecast/design caches, prune day blocks."""
+        self._cache.clear()
+        self._design_cache.clear()
+        oldest = self.ingestor.last_complete_day - self.ingestor.w_max
+        if oldest > 0:
+            for day in [d for d in self._day_pct if d < oldest]:
+                del self._day_pct[day]
 
     # ------------------------------------------------------------ predict
     @property
@@ -158,13 +203,19 @@ class PredictionEngine:
                     model_name, t_day, horizon, window
                 )
             if cacheable:
+                # Freeze the cached array and hand it out without
+                # copying: cache hits are zero-allocation, and any
+                # caller that tries to mutate a served forecast fails
+                # loudly instead of silently corrupting the cache.
+                scores.flags.writeable = False
                 self._cache[cache_key] = scores
         else:
             self.telemetry.inc("cache_hits")
         self.telemetry.inc("predictions_served")
         if sector_ids is not None:
-            return scores[np.asarray(sector_ids)].copy()
-        return scores.copy()
+            # Fancy indexing materialises a fresh, writable slice.
+            return scores[np.asarray(sector_ids)]
+        return scores
 
     def _compute_entry(
         self, model_name: str, t_day: int, horizon: int, window: int
@@ -196,8 +247,58 @@ class PredictionEngine:
                 ),
                 dtype=np.float64,
             )
-        window_block = self.ingestor.feature_window(t_day, window)
-        return np.asarray(model.forecast_window(window_block), dtype=np.float64)
+        design = self._design(model, t_day, window)
+        if design is None:
+            window_block = self.ingestor.feature_window(t_day, window)
+            return np.asarray(model.forecast_window(window_block), dtype=np.float64)
+        return np.asarray(model.forecast_design(design), dtype=np.float64)
+
+    def _design(
+        self, model, t_day: int, window: int
+    ) -> np.ndarray | None:
+        """Design matrix for *model* at ``(t_day, window)``, cached per view.
+
+        Returns ``None`` for models that don't expose the design seam
+        (the caller falls back to :meth:`forecast_window`).  For the
+        Eq. 5 percentile view the matrix is assembled from per-day
+        percentile blocks — its columns are day-major, so concatenating
+        the single-day reductions is bitwise equal to reducing the full
+        window at once, and a completed day's block never needs
+        recomputing.
+        """
+        view = getattr(model, "feature_view", None)
+        if view is None or not hasattr(model, "forecast_design"):
+            return None
+        key = (t_day, window, view)
+        design = self._design_cache.get(key)
+        if design is None:
+            self.telemetry.inc("design_cache_misses")
+            if view == "percentiles" and t_day - window + 1 >= 0:
+                design = np.concatenate(
+                    [
+                        self._day_percentiles(day)
+                        for day in range(t_day - window + 1, t_day + 1)
+                    ],
+                    axis=1,
+                )
+            else:
+                design = model.build_design(
+                    self.ingestor.feature_window(t_day, window)
+                )
+            design.flags.writeable = False
+            self._design_cache[key] = design
+        else:
+            self.telemetry.inc("design_cache_hits")
+        return design
+
+    def _day_percentiles(self, day: int) -> np.ndarray:
+        """The ``(n, channels * 5)`` percentile block for one complete day."""
+        block = self._day_pct.get(day)
+        if block is None:
+            block = percentile_features(self.ingestor.feature_window(day, 1))
+            block.flags.writeable = False
+            self._day_pct[day] = block
+        return block
 
     # -------------------------------------------------------------- stats
     @property

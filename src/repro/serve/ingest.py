@@ -29,6 +29,19 @@ scores/labels, and the precomputed trailing channels for the last
 kept in full (they grow by one ``(n,)`` column per day/week — a few KB
 per day even at production sector counts) because the baseline models
 and the alerting layer address arbitrary past days.
+
+**Columnar micro-batches.**  :meth:`StreamIngestor.ingest_block`
+ingests a contiguous ``(n_sectors, n_hours, n_kpis)`` block in a
+handful of array operations — Eq. 1 scoring over the whole block, one
+``np.cumsum`` extending the running total (the same left-to-right
+accumulation order as the per-hour path, see the parity contract),
+gathered Eq. 3 trailing means, and per-day-segment accumulator writes —
+and is *bitwise identical* to calling :meth:`~StreamIngestor.ingest_hour`
+once per hour.  ``ingest_hour`` is in fact implemented as the
+block-size-1 case.  The ingestor also maintains a persistent Eq. 5
+feature ring (the assembled channel columns per slot, written
+incrementally) so :meth:`~StreamIngestor.feature_window` is a single
+gather instead of a six-array concatenation per forecast.
 """
 
 from __future__ import annotations
@@ -209,6 +222,12 @@ class StreamIngestor:
         self.trail_label = np.zeros((n, cap))
         self._cumsum = np.zeros((n, cap))
         self._running_total = np.zeros(n)
+        # Persistent Eq. 5 feature ring: the assembled channel columns
+        # for every slot (KPIs | calendar | S^h | S^d | S^w | Y^d), so
+        # feature_window() gathers instead of concatenating.  Derived
+        # state — rebuilt from the component rings on restore, never
+        # part of state_dict().
+        self._features = np.zeros((n, cap, l + 9))
         # Contiguous per-period accumulators (see parity contract).
         self._day_scores = np.zeros((n, HOURS_PER_DAY))
         self._week_scores = np.zeros((n, HOURS_PER_WEEK))
@@ -284,6 +303,58 @@ class StreamIngestor:
             raise ValueError(
                 f"values must be ({self.n_sectors}, {self.n_kpis}), got {values.shape}"
             )
+        if missing is not None:
+            missing = np.asarray(missing, dtype=bool)
+            if missing.shape != values.shape:
+                raise ValueError(
+                    f"missing mask shape {missing.shape} != values shape {values.shape}"
+                )
+            missing = missing[:, None, :]
+        rows = None
+        if calendar_row is not None:
+            rows = np.asarray(calendar_row, dtype=np.float64)[None, :]
+        return self.ingest_block(values[:, None, :], missing, rows)[0]
+
+    def ingest_block(
+        self,
+        values: np.ndarray,
+        missing: np.ndarray | None = None,
+        calendar_rows: np.ndarray | None = None,
+    ) -> list[IngestTick]:
+        """Ingest a contiguous block of hours for every sector at once.
+
+        The columnar micro-batch counterpart of :meth:`ingest_hour`:
+        the resulting ingestor state — every ring buffer, accumulator,
+        history and the running cumulative sum — is **bitwise
+        identical** to calling ``ingest_hour`` once per block column,
+        but the per-hour Python overhead is paid once per block.
+
+        Parameters
+        ----------
+        values:
+            Shape ``(n_sectors, n_hours, n_kpis)`` hourly measurements
+            for the next ``n_hours`` consecutive hours.
+        missing:
+            Boolean mask, same shape; defaults to the NaN positions.
+        calendar_rows:
+            Shape ``(n_hours, 5)`` enriched calendar rows; derived from
+            the configured time axis when omitted.
+
+        Returns the per-hour :class:`IngestTick` outcomes, in order.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if (
+            values.ndim != 3
+            or values.shape[0] != self.n_sectors
+            or values.shape[2] != self.n_kpis
+        ):
+            raise ValueError(
+                f"values must be ({self.n_sectors}, n_hours, {self.n_kpis}), "
+                f"got {values.shape}"
+            )
+        n_hours = values.shape[1]
+        if n_hours == 0:
+            return []
         if missing is None:
             missing = np.isnan(values)
         missing = np.asarray(missing, dtype=bool)
@@ -291,54 +362,117 @@ class StreamIngestor:
             raise ValueError(
                 f"missing mask shape {missing.shape} != values shape {values.shape}"
             )
-        hour = self.hours_seen
-        slot = hour % self.capacity
+        if calendar_rows is not None:
+            calendar_rows = np.asarray(calendar_rows, dtype=np.float64)
+            if calendar_rows.shape != (n_hours, 5):
+                raise ValueError(
+                    f"calendar_rows must be ({n_hours}, 5), got {calendar_rows.shape}"
+                )
 
-        # Eq. 1, identical operations to the batch hourly_score.
-        tripped = values > self._thresholds[None, :]
+        # Chunk so no ring write of this block lands on a cumsum slot a
+        # later hour of the same chunk still needs for its weekly
+        # trailing lookback (capacity >= 168 + 24 guarantees progress).
+        ticks: list[IngestTick] = []
+        chunk = self.capacity - HOURS_PER_WEEK
+        for start in range(0, n_hours, chunk):
+            stop = min(start + chunk, n_hours)
+            ticks.extend(
+                self._ingest_chunk(
+                    values[:, start:stop, :],
+                    missing[:, start:stop, :],
+                    None if calendar_rows is None else calendar_rows[start:stop],
+                )
+            )
+        return ticks
+
+    def _ingest_chunk(
+        self,
+        values: np.ndarray,
+        missing: np.ndarray,
+        calendar_rows: np.ndarray | None,
+    ) -> list[IngestTick]:
+        """One capacity-bounded chunk of :meth:`ingest_block`."""
+        n_hours = values.shape[1]
+        first = self.hours_seen
+        hours = np.arange(first, first + n_hours)
+        slots = hours % self.capacity
+        n_kpis = self.n_kpis
+        if calendar_rows is None:
+            calendar_rows = np.stack(
+                [self._default_calendar_row(int(hour)) for hour in hours]
+            )
+
+        # Eq. 1 over the whole block: the same contiguous KPI-axis
+        # reduction as the per-hour path, column by column.
+        tripped = values > self._thresholds[None, None, :]
         tripped &= ~missing
-        score = (tripped * self._weights[None, :]).sum(axis=1) / self._weight_sum
+        score = (tripped * self._weights[None, None, :]).sum(axis=2) / self._weight_sum
 
-        self.values[:, slot, :] = values
-        self.missing[:, slot, :] = missing
-        self.calendar[slot] = (
-            self._default_calendar_row(hour) if calendar_row is None else calendar_row
-        )
-        self.score_hourly[:, slot] = score
-        self.labels_hourly[:, slot] = (score > self._threshold).astype(np.int8)
+        self.values[:, slots, :] = values
+        self.missing[:, slots, :] = missing
+        self.calendar[slots] = calendar_rows
+        self.score_hourly[:, slots] = score
+        self.labels_hourly[:, slots] = (score > self._threshold).astype(np.int8)
 
-        # Running cumulative sum: same sequential accumulation order as
-        # np.cumsum over the full history, so the Eq. 3 trailing means
-        # below match trailing_mean() bitwise.
-        self._running_total += score
-        self._cumsum[:, slot] = self._running_total
-        self.trail_daily[:, slot] = self._trailing(hour, HOURS_PER_DAY)
-        self.trail_weekly[:, slot] = self._trailing(hour, HOURS_PER_WEEK)
-        self.trail_label[:, slot] = (
-            self.trail_daily[:, slot] > self._threshold
-        ).astype(np.float64)
+        # Extend the running cumulative sum: np.cumsum accumulates
+        # left-to-right, exactly the per-hour `running_total += score`
+        # addition order, so Eq. 3 trailing means match bitwise.
+        cumsum = np.cumsum(
+            np.concatenate([self._running_total[:, None], score], axis=1), axis=1
+        )[:, 1:]
+        self._cumsum[:, slots] = cumsum
+        self._running_total = cumsum[:, -1].copy()
 
-        self._day_scores[:, hour % HOURS_PER_DAY] = score
-        self._week_scores[:, hour % HOURS_PER_WEEK] = score
-        self.hours_seen += 1
+        trail_daily = self._trailing_block(hours, cumsum, HOURS_PER_DAY)
+        trail_weekly = self._trailing_block(hours, cumsum, HOURS_PER_WEEK)
+        trail_label = (trail_daily > self._threshold).astype(np.float64)
+        self.trail_daily[:, slots] = trail_daily
+        self.trail_weekly[:, slots] = trail_weekly
+        self.trail_label[:, slots] = trail_label
 
-        day_completed = self.hours_seen % HOURS_PER_DAY == 0
-        week_completed = self.hours_seen % HOURS_PER_WEEK == 0
-        if day_completed:
-            s_day = self._day_scores.mean(axis=1)
-            self._score_daily.append(s_day)
-            self._labels_daily.append((s_day > self._threshold).astype(np.int8))
-        if week_completed:
-            s_week = self._week_scores.mean(axis=1)
-            self._score_weekly.append(s_week)
-            self._labels_weekly.append((s_week > self._threshold).astype(np.int8))
-        return IngestTick(
-            hour=hour,
-            day=hour // HOURS_PER_DAY,
-            day_completed=day_completed,
-            week_completed=week_completed,
-            t_day=self.last_complete_day,
-        )
+        # Incremental Eq. 5 delta: the feature ring gets this block's
+        # assembled channel columns once, here.
+        features = self._features
+        features[:, slots, :n_kpis] = values
+        features[:, slots, n_kpis : n_kpis + 5] = calendar_rows[None, :, :]
+        features[:, slots, n_kpis + 5] = score
+        features[:, slots, n_kpis + 6] = trail_daily
+        features[:, slots, n_kpis + 7] = trail_weekly
+        features[:, slots, n_kpis + 8] = trail_label
+
+        # Per-period accumulators, one contiguous segment per day (a
+        # day segment never straddles a week boundary: 168 % 24 == 0).
+        j = 0
+        while j < n_hours:
+            day_pos = (first + j) % HOURS_PER_DAY
+            span = min(HOURS_PER_DAY - day_pos, n_hours - j)
+            week_pos = (first + j) % HOURS_PER_WEEK
+            self._day_scores[:, day_pos : day_pos + span] = score[:, j : j + span]
+            self._week_scores[:, week_pos : week_pos + span] = score[:, j : j + span]
+            j += span
+            end_hour = first + j
+            if end_hour % HOURS_PER_DAY == 0:
+                s_day = self._day_scores.mean(axis=1)
+                self._score_daily.append(s_day)
+                self._labels_daily.append((s_day > self._threshold).astype(np.int8))
+            if end_hour % HOURS_PER_WEEK == 0:
+                s_week = self._week_scores.mean(axis=1)
+                self._score_weekly.append(s_week)
+                self._labels_weekly.append(
+                    (s_week > self._threshold).astype(np.int8)
+                )
+        self.hours_seen = first + n_hours
+
+        return [
+            IngestTick(
+                hour=int(hour),
+                day=int(hour) // HOURS_PER_DAY,
+                day_completed=(int(hour) + 1) % HOURS_PER_DAY == 0,
+                week_completed=(int(hour) + 1) % HOURS_PER_WEEK == 0,
+                t_day=(int(hour) + 1) // HOURS_PER_DAY - 1,
+            )
+            for hour in hours
+        ]
 
     def _trailing(self, hour: int, window: int) -> np.ndarray:
         """Trailing mean of the hourly score ending at *hour* (Eq. 3)."""
@@ -346,6 +480,27 @@ class StreamIngestor:
             lookback = self._cumsum[:, (hour - window) % self.capacity]
             return (self._running_total - lookback) / window
         return self._running_total / (hour + 1)
+
+    def _trailing_block(
+        self, hours: np.ndarray, cumsum: np.ndarray, window: int
+    ) -> np.ndarray:
+        """Eq. 3 trailing means for a just-written block of *hours*.
+
+        *cumsum* holds the running totals of the block columns (already
+        written to the ring, so intra-block lookbacks resolve); warm
+        hours difference the ring lookback, cold hours (before one full
+        window has streamed) divide by the hours seen so far — the same
+        two branches as :meth:`_trailing`, element for element.
+        """
+        out = np.empty_like(cumsum)
+        warm = hours >= window
+        if warm.any():
+            lookback = self._cumsum[:, (hours[warm] - window) % self.capacity]
+            out[:, warm] = (cumsum[:, warm] - lookback) / window
+        if not warm.all():
+            cold = ~warm
+            out[:, cold] = cumsum[:, cold] / (hours[cold] + 1)
+        return out
 
     def _default_calendar_row(self, hour: int) -> np.ndarray:
         """Best-effort calendar row when the caller supplies none."""
@@ -443,6 +598,20 @@ class StreamIngestor:
                 "forecast window contains missing KPI values; impute upstream "
                 "(the batch pipeline rejects incomplete tensors the same way)"
             )
+        # One gather from the persistent feature ring; the stored
+        # columns are exactly what assemble_window() would concatenate
+        # from the component rings (see _ingest_chunk), so the result
+        # is bitwise-unchanged.
+        return self._features[:, slots, :]
+
+    def assembled_window(self, lo_hour: int, hi_hour: int) -> np.ndarray:
+        """Eq. 5 channels for ``[lo_hour, hi_hour)`` via assemble_window.
+
+        Reference path for the feature-ring parity tests: concatenates
+        the component rings the way :meth:`feature_window` did before
+        the persistent feature ring existed.
+        """
+        slots = self._ring_slots(lo_hour, hi_hour)
         return assemble_window(
             self.values[:, slots, :],
             self.calendar[slots],
@@ -541,4 +710,20 @@ class StreamIngestor:
             np.asarray(arrays["labels_weekly"], dtype=np.int8)
         )
         ingestor.hours_seen = int(meta["hours_seen"])
+        # The feature ring is derived state and deliberately absent
+        # from state_dict() (snapshots stay byte-compatible with
+        # pre-feature-ring checkpoints); rebuild it from the restored
+        # component rings.
+        ingestor._rebuild_features()
         return ingestor
+
+    def _rebuild_features(self) -> None:
+        """Recompute the Eq. 5 feature ring from the component rings."""
+        n_kpis = self.n_kpis
+        features = self._features
+        features[:, :, :n_kpis] = self.values
+        features[:, :, n_kpis : n_kpis + 5] = self.calendar[None, :, :]
+        features[:, :, n_kpis + 5] = self.score_hourly
+        features[:, :, n_kpis + 6] = self.trail_daily
+        features[:, :, n_kpis + 7] = self.trail_weekly
+        features[:, :, n_kpis + 8] = self.trail_label

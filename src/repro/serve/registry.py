@@ -271,6 +271,10 @@ def _load_model(meta: dict, archive):
             _unpack_classifier_tree(archive, f"est{i:03d}__", n_features)
             for i in range(int(meta["n_members"]))
         ]
+        # Pack eagerly: loaded forests go straight into the warm LRU /
+        # serving engines, so every forecast_window hits the packed
+        # kernel without a first-call packing stall.
+        forest.packed()
         forecaster._model = forest
     elif inner == "boosting":
         boosting = GradientBoostingClassifier(

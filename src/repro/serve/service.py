@@ -27,6 +27,7 @@ from typing import IO, Callable, Iterable
 
 import numpy as np
 
+from repro.data.tensor import HOURS_PER_DAY
 from repro.serve.engine import PredictionEngine
 from repro.serve.ingest import IngestTick
 from repro.serve.telemetry import ServeTelemetry
@@ -109,6 +110,51 @@ class HotSpotService:
         tick = self.engine.ingest_hour(values, missing, calendar_row)
         if not tick.day_completed:
             return []
+        return self._day_events(tick)
+
+    def ingest_block(
+        self,
+        values: np.ndarray,
+        missing: np.ndarray | None = None,
+        calendar_rows: np.ndarray | None = None,
+    ) -> list[dict]:
+        """Ingest a micro-batch of hours; returns all resulting events.
+
+        Splits the block at day-completion boundaries internally, so
+        every ``"day"``/``"alert"`` event (and day hook) is computed
+        against exactly the engine state the per-hour driver would see —
+        the emitted event stream is identical to calling
+        :meth:`ingest_hour` once per block column, just cheaper.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 3:
+            raise ValueError(
+                f"values must be (n_sectors, n_hours, n_kpis), got {values.shape}"
+            )
+        if missing is not None:
+            missing = np.asarray(missing, dtype=bool)
+        if calendar_rows is not None:
+            calendar_rows = np.asarray(calendar_rows, dtype=np.float64)
+        n_hours = values.shape[1]
+        first = self.engine.ingestor.hours_seen
+        events: list[dict] = []
+        start = 0
+        while start < n_hours:
+            to_boundary = HOURS_PER_DAY - (first + start) % HOURS_PER_DAY
+            stop = min(start + to_boundary, n_hours)
+            ticks = self.engine.ingest_block(
+                values[:, start:stop, :],
+                None if missing is None else missing[:, start:stop, :],
+                None if calendar_rows is None else calendar_rows[start:stop],
+            )
+            last = ticks[-1]
+            if last.day_completed:
+                events.extend(self._day_events(last))
+            start = stop
+        return events
+
+    def _day_events(self, tick: IngestTick) -> list[dict]:
+        """The day summary + alerts + hook events for a completed day."""
         events: list[dict] = []
         labels = self.engine.ingestor.labels_daily
         currently_hot = np.nonzero(labels[:, tick.t_day] == 1)[0]

@@ -129,9 +129,16 @@ class TestEngineCache:
         assert telemetry.counter("cache_misses") == 4
         assert refreshed.shape == first.shape
 
-    def test_returned_arrays_are_copies(self, engine):
+    def test_cached_scores_are_read_only(self, engine):
+        # Cache hits return the frozen cached array itself — mutation
+        # fails loudly instead of silently corrupting served forecasts.
         scores = engine.predict(1)
-        scores[:] = -1.0
+        with pytest.raises(ValueError):
+            scores[:] = -1.0
+        assert engine.predict(1).min() >= 0.0
+        # The sector_ids slice path still hands out writable copies.
+        subset = engine.predict(1, sector_ids=[1, 0])
+        subset[:] = -1.0
         assert engine.predict(1).min() >= 0.0
 
     def test_predict_before_first_day_errors(self, scored_dataset, registry):
