@@ -19,12 +19,23 @@ Dual-mode:
   summary under ``benchmarks/results/``, and the full chaos event log
   as ``benchmarks/results/chaos_events.jsonl`` (the CI artifact);
 * under pytest — a ``--smoke``-sized run wired into the bench suite.
+
+``--fleet`` runs the **supervised-fleet chaos leg** instead (PR 8): a
+two-shard fleet whose worker processes are deterministically SIGKILLed
+and hung at the crash seams (plus a torn WAL tail at respawn), asserting
+zero unhandled exceptions and a merged stream bitwise identical to the
+fault-free run; a second, budget-exhausted pass must degrade the shard
+through the fallback ladder and rejoin.  Its restart/degrade stats are
+folded into ``BENCH_chaos_replay.json`` under ``"fleet"`` and the
+supervision event log lands in
+``benchmarks/results/fleet_supervisor_events.jsonl``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import sys
 import time
 from pathlib import Path
@@ -59,6 +70,9 @@ from repro.serve.telemetry import ServeTelemetry
 
 DEFAULT_OUT = Path(__file__).parent.parent / "BENCH_chaos_replay.json"
 EVENT_LOG = Path(__file__).parent / "results" / "chaos_events.jsonl"
+FLEET_EVENT_LOG = (
+    Path(__file__).parent / "results" / "fleet_supervisor_events.jsonl"
+)
 
 WINDOW = 7
 CHAOS_SEED = 2017  # fixed: the whole schedule derives from it
@@ -193,6 +207,184 @@ def run_bench(smoke: bool = False, registry_root: Path | None = None) -> dict:
     }
 
 
+# ------------------------------------------------------- supervised fleet
+def _train_fleet_registry(dataset, registry_root: Path) -> None:
+    registry = ModelRegistry(registry_root)
+    runner = SweepRunner(
+        dataset, target="hot", n_estimators=3, n_training_days=3, seed=0
+    )
+    train_day = dataset.score_daily.shape[1] // 2
+    train_and_register(runner, registry, ("Average",), train_day, (1,), (WINDOW,))
+
+
+def _drive_fleet(fleet, dataset, end_hour: int) -> list[str]:
+    kpis = dataset.kpis
+    lines: list[str] = []
+    for hour in range(end_hour):
+        events = fleet.submit_tick(
+            kpis.values[:, hour, :],
+            kpis.missing[:, hour, :],
+            dataset.calendar[hour],
+            hour=hour,
+        )
+        lines.extend(json.dumps(event) for event in events)
+    return lines
+
+
+def run_fleet_bench(smoke: bool = False) -> dict:
+    """Supervised-fleet chaos: kill/hang workers, assert the contract.
+
+    Two legs share one dataset and registry:
+
+    * *recovery* — four deterministic process faults (SIGKILLs at every
+      worker seam plus a hang) and a torn WAL tail at respawn, all
+      within the restart budget: the merged stream must be **bitwise**
+      the fault-free run's;
+    * *degraded* — ``max_restarts=0``: the first death must degrade the
+      shard (explicit ``shard_degraded``, fallback fragments, spooled
+      ticks) and rejoin (``shard_recovered``) with no unhandled
+      exception.
+    """
+    import tempfile
+
+    from repro.fleet import FleetConfig, SupervisorConfig, build_fleet
+    from repro.resilience import ProcessChaos, ProcessFault
+
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return {"bench": "chaos_replay_fleet", "skipped": "fork unavailable"}
+
+    if smoke:
+        dataset = _build_dataset(n_towers=10, n_weeks=6)
+        end_hour = 480
+    else:
+        dataset = _build_dataset(n_towers=20, n_weeks=10)
+        end_hour = 960
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        _train_fleet_registry(dataset, root / "registry")
+        config = FleetConfig.for_dataset(
+            dataset, root / "registry", model="Average", window=WINDOW,
+            horizons=(1,), start_day=8, top_k=5, w_max=WINDOW,
+            snapshot_every=48,
+        )
+        fleet = build_fleet(root / "baseline", config, 2)
+        try:
+            baseline = _drive_fleet(fleet, dataset, end_hour)
+        finally:
+            fleet.close()
+
+        # Recovery leg: every seam, both fault actions, one torn tail.
+        h = end_hour // 5
+        faults = (
+            ProcessFault(0, "mid_apply", h),
+            ProcessFault(1, "mid_journal", 2 * h),
+            ProcessFault(1, "post_journal", 3 * h),
+            ProcessFault(0, "mid_apply", 4 * h, action="hang", hang_secs=30.0),
+        )
+        chaos = ProcessChaos(
+            faults=faults, marker_dir=str(root / "markers"), wal_tail_shards=(1,)
+        )
+        supervision: list[dict] = []
+        start = time.perf_counter()
+        fleet = build_fleet(
+            root / "supervised", config, 2,
+            supervise=SupervisorConfig(heartbeat_secs=0.5, slow_retries=2),
+            chaos=chaos,
+            on_event=lambda record: supervision.append(
+                {"leg": "recovery", **record}
+            ),
+        )
+        try:
+            lines = _drive_fleet(fleet, dataset, end_hour)
+            stats = fleet.stats()
+            assert fleet.backend.degraded_shards == []
+        finally:
+            fleet.close()
+        seconds = time.perf_counter() - start
+        assert lines == baseline, "supervised recovery broke stream parity"
+        recovery = stats["fleet"]["supervisor"]
+        assert recovery["worker_restarts"] >= len(faults)
+
+        # Degraded leg: zero budget, one kill — degrade, then rejoin.
+        chaos = ProcessChaos(
+            faults=(ProcessFault(1, "mid_apply", 2 * h),),
+            marker_dir=str(root / "markers-degraded"),
+        )
+        fleet = build_fleet(
+            root / "degraded", config, 2,
+            supervise=SupervisorConfig(max_restarts=0, poison_threshold=5),
+            chaos=chaos,
+            on_event=lambda record: supervision.append(
+                {"leg": "degraded", **record}
+            ),
+        )
+        try:
+            lines = _drive_fleet(fleet, dataset, end_hour)
+            stats = fleet.stats()
+            assert fleet.backend.degraded_shards == [], "shard never rejoined"
+        finally:
+            fleet.close()
+        kinds = [json.loads(line).get("event") for line in lines]
+        assert "shard_degraded" in kinds and "shard_recovered" in kinds
+        degraded = stats["fleet"]["supervisor"]
+        for line in lines:
+            event = json.loads(line)
+            if event.get("event") in (
+                "shard_degraded", "shard_recovered", "poison_block"
+            ):
+                supervision.append({"leg": "degraded", "in_stream": True, **event})
+
+    FLEET_EVENT_LOG.parent.mkdir(exist_ok=True)
+    with open(FLEET_EVENT_LOG, "w", encoding="utf-8") as handle:
+        for record in supervision:
+            handle.write(json.dumps(record) + "\n")
+
+    return {
+        "bench": "chaos_replay_fleet",
+        "mode": "smoke" if smoke else "full",
+        "n_sectors": dataset.n_sectors,
+        "n_shards": 2,
+        "stream_hours": end_hour,
+        "seconds": round(seconds, 4),
+        "ticks_per_second": round(end_hour / seconds, 1) if seconds > 0 else None,
+        "recovered_bitwise": True,
+        "worker_restarts": recovery["worker_restarts"],
+        "heartbeat_timeouts": recovery["heartbeat_timeouts"],
+        "poison_blocks": recovery["poison_blocks"],
+        "degrade_transitions": degraded["degrade_transitions"],
+        "degraded_seconds": degraded["degraded_seconds"],
+        "spooled_ticks": degraded["spooled_ticks"],
+        "supervision_events": len(supervision),
+        "contract_holds": True,
+        "event_log": str(FLEET_EVENT_LOG),
+    }
+
+
+def _render_fleet(summary: dict) -> str:
+    if summary.get("skipped"):
+        return f"Fleet chaos leg skipped: {summary['skipped']}\n"
+    rows = [
+        [key, summary[key]]
+        for key in (
+            "worker_restarts", "heartbeat_timeouts", "poison_blocks",
+            "degrade_transitions", "spooled_ticks", "supervision_events",
+        )
+    ]
+    text = (
+        f"Supervised fleet chaos, {summary['stream_hours']} h stream, "
+        f"{summary['n_sectors']} sectors on {summary['n_shards']} shards: "
+        f"recovery leg in {summary['seconds']:.2f}s "
+        f"({summary['ticks_per_second']} ticks/s), bitwise parity "
+        f"{'held' if summary['recovered_bitwise'] else 'BROKE'}, "
+        f"degraded leg rejoined cleanly\n"
+    )
+    text += format_table(["supervision stat", "count"], rows)
+    return text
+
+
 def _render(summary: dict) -> str:
     rows = [
         [fault, count]
@@ -230,10 +422,30 @@ def main(argv: list[str] | None = None) -> int:
         help="short stream, small network (CI-sized)",
     )
     parser.add_argument(
+        "--fleet", action="store_true",
+        help="run the supervised-fleet chaos leg instead of the replay; "
+        "its stats fold into the same JSON summary under 'fleet'",
+    )
+    parser.add_argument(
         "--out", type=Path, default=DEFAULT_OUT,
         help=f"JSON summary path (default {DEFAULT_OUT})",
     )
     args = parser.parse_args(argv)
+
+    if args.fleet:
+        summary = run_fleet_bench(smoke=args.smoke)
+        report("chaos_replay_fleet", _render_fleet(summary))
+        merged = (
+            json.loads(args.out.read_text(encoding="utf-8"))
+            if args.out.exists()
+            else {"bench": "chaos_replay"}
+        )
+        merged["fleet"] = summary
+        args.out.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+        if not summary.get("skipped"):
+            print(f"wrote {summary['event_log']}")
+        return 0
 
     summary = run_bench(smoke=args.smoke)
     report("chaos_replay", _render(summary))

@@ -39,7 +39,7 @@ from repro.core.forecaster import MODEL_REGISTRY
 from repro.core.scoring import attach_scores
 from repro.data.store import load_dataset, save_dataset, save_result_table
 from repro.data.tensor import HOURS_PER_DAY
-from repro.fleet import FleetConfig, build_fleet, recover_fleet
+from repro.fleet import FleetConfig, SupervisorConfig, build_fleet, recover_fleet
 from repro.imputation import DAEImputer, DAEImputerConfig, filter_sectors
 from repro.lifecycle import (
     DriftConfig,
@@ -544,26 +544,48 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         w_max=max(args.window, 7),
         snapshot_every=args.snapshot_every,
     )
-    if args.resume:
-        # Keep the persisted shard count unless --shards asks for a
-        # different one, in which case recovery reshards first.
-        fleet = recover_fleet(
-            args.checkpoint_dir, config, n_shards=args.shards, jobs=args.jobs
-        )
-    else:
-        fleet = build_fleet(
-            args.checkpoint_dir, config, args.shards or 2, jobs=args.jobs
-        )
-    resumed = f", resuming at hour {fleet.clock}" if args.resume else ""
-    _info(
-        f"fleet: {fleet.plan.n_shards} shards "
-        f"(generation {fleet.plan.generation}), "
-        f"backend={fleet.backend.name}{resumed}",
-        args.quiet,
-        sys.stderr,
-    )
+    supervise = None
+    on_event = None
+    if args.supervise:
+        try:
+            supervise = SupervisorConfig(
+                heartbeat_secs=args.heartbeat_secs,
+                max_restarts=args.max_restarts,
+            )
+        except ValueError as error:
+            print(f"error: invalid supervision policy: {error}", file=sys.stderr)
+            return 1
 
+        def on_event(record: dict) -> None:
+            # Structured supervision JSONL (restart/degrade/rejoin) goes
+            # to stderr: stdout stays the merged event stream, bitwise.
+            print(json.dumps(record), file=sys.stderr, flush=True)
+
+    # Construction already forks shard hosts, so the teardown guard
+    # must cover it: every exit path terminates and joins the workers.
+    fleet = None
     try:
+        if args.resume:
+            # Keep the persisted shard count unless --shards asks for a
+            # different one, in which case recovery reshards first.
+            fleet = recover_fleet(
+                args.checkpoint_dir, config, n_shards=args.shards,
+                jobs=args.jobs, supervise=supervise, on_event=on_event,
+            )
+        else:
+            fleet = build_fleet(
+                args.checkpoint_dir, config, args.shards or 2,
+                jobs=args.jobs, supervise=supervise, on_event=on_event,
+            )
+        resumed = f", resuming at hour {fleet.clock}" if args.resume else ""
+        _info(
+            f"fleet: {fleet.plan.n_shards} shards "
+            f"(generation {fleet.plan.generation}), "
+            f"backend={fleet.backend.name}{resumed}",
+            args.quiet,
+            sys.stderr,
+        )
+
         if args.from_stdin:
             processed = fleet.run_jsonl(sys.stdin, sys.stdout)
             _info(f"processed {processed} operations", args.quiet, sys.stderr)
@@ -574,24 +596,48 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                     args.quiet,
                     sys.stderr,
                 )
-            return 0
+            return _fleet_exit_code(fleet, args)
 
         end_day = n_days if args.max_days is None else min(args.max_days, n_days)
         alerts = _replay_events(
             fleet, dataset, fleet.clock, end_day, batch_hours=args.batch_hours
         )
         stats = fleet.stats()
+        supervisor = stats["fleet"].get("supervisor")
+        supervised = (
+            ""
+            if supervisor is None
+            else (
+                f", {supervisor['worker_restarts']} restarts, "
+                f"{supervisor['poison_blocks']} poison blocks"
+            )
+        )
         _info(
             f"replayed {end_day} days over {stats['fleet']['n_shards']} shards: "
             f"{alerts} alerts, "
             f"{stats['counters'].get('ticks_quarantined', 0)} quarantined, "
-            f"{stats['counters'].get('degraded_predictions', 0)} degraded",
+            f"{stats['counters'].get('degraded_predictions', 0)} degraded"
+            f"{supervised}",
             args.quiet,
             sys.stderr,
         )
-        return 0
+        return _fleet_exit_code(fleet, args)
     finally:
-        fleet.close()
+        if fleet is not None:
+            fleet.close()
+
+
+def _fleet_exit_code(fleet, args: argparse.Namespace) -> int:
+    """0 unless the run ends with shards still in degraded mode."""
+    degraded = getattr(fleet.backend, "degraded_shards", [])
+    if degraded:
+        _info(
+            f"fleet ended degraded: shard(s) {degraded} never rejoined",
+            args.quiet,
+            sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -778,6 +824,20 @@ def build_parser() -> argparse.ArgumentParser:
                     help="hours per replay micro-batch (1 = per-hour ticks; "
                          "larger batches broadcast columnar blocks with "
                          "identical merged events)")
+    fl.add_argument("--supervise", action="store_true",
+                    help="run each shard in its own supervised process: "
+                         "heartbeats, live restart-with-recovery, poison-"
+                         "block quarantine, and degraded-shard fallback "
+                         "(supervision events stream to stderr as JSONL; "
+                         "exit code 1 if the run ends still degraded)")
+    fl.add_argument("--max-restarts", type=int, default=3,
+                    help="consecutive worker restarts allowed per shard "
+                         "before it is served degraded (0 = degrade on "
+                         "first death)")
+    fl.add_argument("--heartbeat-secs", type=float, default=5.0,
+                    help="base reply deadline per shard request; a slow but "
+                         "live worker gets exponentially longer patience "
+                         "windows before being declared hung")
     fl.set_defaults(func=_cmd_fleet)
     return parser
 

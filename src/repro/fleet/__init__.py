@@ -15,7 +15,10 @@ guarantees:
   the forked-process backend;
 * :mod:`repro.fleet.recovery` — fleet-wide crash recovery and
   reshard (shard-count changes between runs), resuming to a
-  bitwise-identical continuation of the merged stream.
+  bitwise-identical continuation of the merged stream;
+* :mod:`repro.fleet.supervisor` — the self-healing backend: per-shard
+  heartbeats, live restart-with-recovery, poison-block quarantine, and
+  degraded-shard serving through the fallback ladder.
 """
 
 from repro.fleet.coordinator import (
@@ -32,7 +35,8 @@ from repro.fleet.partition import (
     rebalance_moves,
     sector_shard,
 )
-from repro.fleet.recovery import recover_fleet, reshard
+from repro.fleet.recovery import journal_clock, recover_fleet, reshard
+from repro.fleet.supervisor import FleetSupervisor, SupervisorConfig
 from repro.fleet.worker import (
     FleetConfig,
     FleetLifecycleSpec,
@@ -47,15 +51,18 @@ __all__ = [
     "FleetCoordinator",
     "FleetLifecycleSpec",
     "FleetProtocolError",
+    "FleetSupervisor",
     "PARTITION_NAME",
     "PartitionPlan",
     "ProcessBackend",
     "SerialBackend",
     "ShardWorker",
     "SimulatedKill",
+    "SupervisorConfig",
     "WATERMARK_NAME",
     "build_fleet",
     "build_worker",
+    "journal_clock",
     "rebalance_moves",
     "recover_fleet",
     "recovered_clock",

@@ -415,20 +415,30 @@ class ProcessBackend:
         return self._roundtrip(("telemetry",))
 
     def close(self) -> None:
-        for process, conn, _ in self._children:
-            try:
-                if process.is_alive():
-                    conn.send(("close",))
-                    self._recv(process, conn)
-            except (OSError, RuntimeError):
-                pass
-            finally:
-                conn.close()
-                process.join(timeout=5)
-                if process.is_alive():
-                    process.terminate()
-        self._children = []
-        self._bundle.destroy()
+        children, self._children = self._children, []
+        try:
+            for process, conn, _ in children:
+                try:
+                    if process.is_alive():
+                        conn.send(("close",))
+                        self._recv(process, conn)
+                except (OSError, RuntimeError, EOFError):
+                    pass
+                finally:
+                    conn.close()
+                    process.join(timeout=5)
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=5)
+                    if process.is_alive():
+                        # terminate() can be swallowed by a SIGTERM-masked
+                        # child; SIGKILL cannot.
+                        process.kill()
+                        process.join()
+        finally:
+            bundle, self._bundle = self._bundle, None
+            if bundle is not None:
+                bundle.destroy()
 
 
 # --------------------------------------------------------------------------
@@ -644,6 +654,12 @@ class FleetCoordinator:
 
     def _merge(self, hour: int, responses: list[dict]) -> list[dict]:
         events: list[dict] = []
+        # Supervision transitions (shard_degraded / shard_recovered /
+        # poison_block) ride on the response that triggered them and are
+        # released first; healthy runs carry none, so stream parity with
+        # the single engine is untouched.
+        for response in responses:
+            events.extend(response.get("supervisor", ()))
         newly_dark = sorted(
             (int(sector), int(run))
             for response in responses
@@ -875,10 +891,21 @@ class FleetCoordinator:
             "per_shard": [s.get("shard", {}) for s in shard_stats],
         }
         snapshot["resilience"] = {"dead_letters": self.dead_letters.stats()}
+        if hasattr(self.backend, "supervisor_stats"):
+            snapshot["fleet"]["supervisor"] = self.backend.supervisor_stats()
         return snapshot
 
     def close(self) -> None:
-        self.backend.close()
+        """Shut the backend down (terminate/join forked workers); idempotent."""
+        backend, self.backend = self.backend, None
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "FleetCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # --------------------------------------------------------------------------
@@ -892,12 +919,20 @@ def build_fleet(
     resume: bool = False,
     plan: PartitionPlan | None = None,
     clock: int | None = None,
+    supervise=None,
+    chaos=None,
+    on_event=None,
 ) -> FleetCoordinator:
     """Construct a fresh fleet (use :func:`~repro.fleet.recovery
     .recover_fleet` to resume one — it computes the plan and clock).
 
-    ``jobs`` > 1 asks for the process backend; unavailability degrades
-    to the serial backend with the identical merged stream.
+    ``supervise`` (a :class:`~repro.fleet.supervisor.SupervisorConfig`)
+    selects the self-healing one-process-per-shard backend; ``chaos``
+    (a :class:`~repro.resilience.chaos.ProcessChaos`) arms its
+    deterministic process-fault schedule and ``on_event`` observes
+    out-of-stream supervision events.  Otherwise ``jobs`` > 1 asks for
+    the process backend.  Either way unavailability degrades to the
+    serial backend with the identical merged stream.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -908,7 +943,17 @@ def build_fleet(
             plan = PartitionPlan.compute(config.n_sectors, n_shards)
             plan.save(directory)
     backend = None
-    if effective_jobs(jobs, plan.n_shards) > 1:
+    if supervise is not None:
+        from repro.fleet.supervisor import FleetSupervisor
+
+        try:
+            backend = FleetSupervisor(
+                directory, plan, config, resume,
+                supervise=supervise, chaos=chaos, on_event=on_event,
+            )
+        except PoolUnavailable:
+            backend = None
+    elif effective_jobs(jobs, plan.n_shards) > 1:
         try:
             backend = ProcessBackend(
                 directory, plan, config, resume, effective_jobs(jobs, plan.n_shards)
@@ -919,9 +964,12 @@ def build_fleet(
         backend = SerialBackend.build(directory, plan, config, resume)
     if clock is None:
         clock = recovered_clock(directory, backend.shard_hours()) if resume else 0
-    return FleetCoordinator(
+    coordinator = FleetCoordinator(
         directory, plan, config, backend, clock=clock
     )
+    if hasattr(backend, "bind"):
+        backend.bind(coordinator)
+    return coordinator
 
 
 def recovered_clock(directory: str | Path, shard_hours: list[int]) -> int:

@@ -48,10 +48,44 @@ from repro.fleet.coordinator import (
 )
 from repro.fleet.partition import PartitionPlan
 from repro.fleet.worker import FleetConfig
-from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.checkpoint import CheckpointManager, TickJournal
 from repro.serve.ingest import StreamIngestor
 
-__all__ = ["recover_fleet", "reshard"]
+__all__ = ["journal_clock", "recover_fleet", "reshard"]
+
+
+def journal_clock(directory: str | Path) -> int:
+    """Durable hour count recoverable from a shard checkpoint directory.
+
+    The newest *readable* snapshot's hour plus the contiguous run of
+    journal records on top of it — exactly the ``hours_seen`` a
+    :meth:`CheckpointManager.recover` of the directory would restore,
+    computed without rebuilding the ingestor.  The fleet supervisor uses
+    it to find where a dead shard's durable state ends, so degraded-mode
+    spooling appends precisely the hours the shard is missing.
+    """
+    directory = Path(directory)
+    clock = 0
+    for path in sorted(directory.glob("snapshot-*.npz"), reverse=True):
+        try:
+            with np.load(path) as archive:
+                archive["meta_json"]  # readability probe
+            clock = int(path.stem.split("-")[1])
+            break
+        except Exception:  # noqa: BLE001 - skip torn/corrupt snapshots
+            continue
+    hours: set[int] = set()
+    for segment in sorted(directory.glob("wal-*.log")):
+        try:
+            for hour, _values, _missing, _calendar in TickJournal.read_records(
+                segment
+            ):
+                hours.add(hour)
+        except ValueError:
+            continue  # foreign or headerless file
+    while clock in hours:
+        clock += 1
+    return clock
 
 
 def recover_fleet(
@@ -59,11 +93,16 @@ def recover_fleet(
     config: FleetConfig,
     n_shards: int | None = None,
     jobs: int = 1,
+    supervise=None,
+    chaos=None,
+    on_event=None,
 ) -> FleetCoordinator:
     """Resume the fleet persisted in *directory*.
 
     ``n_shards`` requests a different shard count (triggering
-    :func:`reshard`); ``None`` keeps the persisted plan.
+    :func:`reshard`); ``None`` keeps the persisted plan.  ``supervise``
+    / ``chaos`` / ``on_event`` select and configure the self-healing
+    backend exactly as in :func:`~repro.fleet.coordinator.build_fleet`.
     """
     directory = Path(directory)
     plan = PartitionPlan.load(directory)
@@ -71,7 +110,8 @@ def recover_fleet(
     if target != plan.n_shards:
         plan = reshard(directory, config, plan, target)
     return build_fleet(
-        directory, config, plan.n_shards, jobs=jobs, resume=True, plan=plan
+        directory, config, plan.n_shards, jobs=jobs, resume=True, plan=plan,
+        supervise=supervise, chaos=chaos, on_event=on_event,
     )
 
 

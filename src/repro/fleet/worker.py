@@ -187,6 +187,12 @@ class ShardWorker:
         self._responses: dict[int, dict] = dict(responses or {})
         #: ``(point, hour)`` → raise :class:`SimulatedKill` at that seam.
         self.kill_at: tuple | None = None
+        #: Optional ``hook(point, hour)`` invoked at every crash seam
+        #: before the in-process kill check.  The process-level chaos
+        #: harness installs one that SIGKILLs or hangs the hosting
+        #: process (:func:`repro.resilience.chaos.install_process_faults`)
+        #: so the supervisor sees a real worker death, not an exception.
+        self.seam_hook = None
 
     # ------------------------------------------------------------ driving
     def submit(
@@ -402,7 +408,8 @@ class ShardWorker:
                 {"hours": {str(h): store[h] for h in sorted(store)}},
             )
 
-    def _trivial_response(self, hour: int) -> dict:
+    @staticmethod
+    def _trivial_response(hour: int) -> dict:
         return {
             "hour": int(hour),
             "day_completed": (hour + 1) % HOURS_PER_DAY == 0,
@@ -423,6 +430,8 @@ class ShardWorker:
         )
 
     def _maybe_kill(self, point: str, hour: int) -> None:
+        if self.seam_hook is not None:
+            self.seam_hook(point, hour)
         if self.kill_at == (point, hour):
             self.kill_at = None
             raise SimulatedKill(
@@ -431,6 +440,9 @@ class ShardWorker:
 
     def _maybe_kill_range(self, point: str, lo: int, hi: int) -> None:
         """Block-path kill seam: fire when the armed hour is in [lo, hi)."""
+        if self.seam_hook is not None:
+            for hour in range(lo, hi):
+                self.seam_hook(point, hour)
         if self.kill_at is not None and self.kill_at[0] == point:
             hour = self.kill_at[1]
             if lo <= hour < hi:

@@ -23,11 +23,15 @@ from repro.resilience.chaos import (
     ChaosConfig,
     ChaosReport,
     FlakyRegistry,
+    ProcessChaos,
+    ProcessFault,
     chaos_stream,
+    corrupt_wal_tail,
+    install_process_faults,
     run_chaos_replay,
 )
 from repro.resilience.checkpoint import CheckpointManager, RecoveredState, TickJournal
-from repro.resilience.degrade import ResilientPredictionEngine
+from repro.resilience.degrade import ResilientPredictionEngine, fallback_scores
 from repro.resilience.guard import ResilientHotSpotService
 from repro.resilience.validate import (
     DarkSectorTracker,
@@ -43,6 +47,8 @@ __all__ = [
     "DarkSectorTracker",
     "DeadLetterQueue",
     "FlakyRegistry",
+    "ProcessChaos",
+    "ProcessFault",
     "RecoveredState",
     "ResilientHotSpotService",
     "ResilientPredictionEngine",
@@ -50,5 +56,8 @@ __all__ = [
     "TickValidator",
     "TickVerdict",
     "chaos_stream",
+    "corrupt_wal_tail",
+    "fallback_scores",
+    "install_process_faults",
     "run_chaos_replay",
 ]

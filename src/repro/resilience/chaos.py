@@ -18,6 +18,20 @@ end:
 * *registry failure* — model loads raise at scheduled hours (the
   engine must degrade, then recover).
 
+The fleet supervision layer (PR 8) extends the fault model to the
+**process level**: :class:`ProcessFault` schedules a worker-process
+SIGKILL or hang at one of the existing crash seams
+(``mid_apply``/``mid_journal``/``post_journal``), and
+:class:`ProcessChaos` collects a schedule plus optional per-shard WAL
+tail corruption applied at respawn.  Faults are one-shot by default —
+a fired fault leaves a marker file so the respawned worker does not
+re-die on the re-driven hour — while ``persistent=True`` models a
+poison block that kills its worker on every delivery (the supervisor
+must quarantine it instead of burning its restart budget).  The
+schedule is a pure function of its config, so supervised chaos runs
+are replayable: the same faults fire at the same seams every run, and
+only the wall-clock timing of detection varies.
+
 :func:`run_chaos_replay` drives a
 :class:`~repro.resilience.guard.ResilientHotSpotService` through a
 faulted dataset replay and returns a :class:`ChaosReport` pairing the
@@ -28,7 +42,11 @@ exceptions, every fault evented, no alerts from dark sectors*.
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterator
 
 import numpy as np
@@ -37,7 +55,17 @@ from repro.data.dataset import Dataset
 from repro.resilience.guard import ResilientHotSpotService
 from repro.serve.registry import ModelRegistry
 
-__all__ = ["ChaosConfig", "FlakyRegistry", "ChaosReport", "chaos_stream", "run_chaos_replay"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "FlakyRegistry",
+    "ProcessChaos",
+    "ProcessFault",
+    "chaos_stream",
+    "corrupt_wal_tail",
+    "install_process_faults",
+    "run_chaos_replay",
+]
 
 
 @dataclass(frozen=True)
@@ -107,6 +135,123 @@ class FlakyRegistry:
 
     def __contains__(self, key) -> bool:
         return key in self.inner
+
+
+# --------------------------------------------------------------------------
+# process-level faults (fleet supervision chaos)
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProcessFault:
+    """One scheduled worker-process fault at a crash seam.
+
+    ``action`` is ``"sigkill"`` (the process dies instantly, mid-
+    protocol, exactly as ``kill -9`` would) or ``"hang"`` (the process
+    sleeps ``hang_secs`` at the seam, so the supervisor's heartbeat
+    deadline — not process death — must detect it).  One-shot faults
+    fire at most once per marker directory; ``persistent`` faults
+    re-fire on every delivery of the armed hour, modelling a poison
+    block.
+    """
+
+    shard: int
+    seam: str  # mid_apply | mid_journal | post_journal
+    hour: int
+    action: str = "sigkill"  # sigkill | hang
+    hang_secs: float = 3600.0
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.seam not in ("mid_apply", "mid_journal", "post_journal"):
+            raise ValueError(f"unknown seam {self.seam!r}")
+        if self.action not in ("sigkill", "hang"):
+            raise ValueError(f"unknown action {self.action!r}")
+
+    def marker(self) -> str:
+        return f"shard{self.shard}-{self.seam}-{self.hour}-{self.action}"
+
+
+@dataclass(frozen=True)
+class ProcessChaos:
+    """A deterministic process-level fault schedule for a supervised fleet.
+
+    ``marker_dir`` holds the one-shot bookkeeping: a fault writes
+    ``<marker_dir>/<fault marker>`` *before* acting, so the respawned
+    worker skips it when the same hour is re-driven.  ``wal_tail_shards``
+    lists shards whose newest WAL segment gets garbage bytes appended
+    once, at the supervisor's next respawn of that shard — simulating a
+    torn tail left by a writer killed mid-append, which recovery must
+    truncate cleanly.
+    """
+
+    faults: tuple[ProcessFault, ...] = ()
+    marker_dir: str = ""
+    wal_tail_shards: tuple[int, ...] = ()
+
+    def for_shard(self, shard: int) -> tuple[ProcessFault, ...]:
+        return tuple(f for f in self.faults if f.shard == shard)
+
+    def disarm(self, shard: int, lo: int, hi: int | None = None) -> None:
+        """Permanently disarm *shard*'s faults for hours ``[lo, hi)``.
+
+        The supervisor calls this when it quarantines a poison block:
+        dropping the offending payload removes whatever was killing the
+        worker, so the matching (persistent) faults must stop firing —
+        the disarm marker models exactly that, deterministically.
+        """
+        hi = lo + 1 if hi is None else hi
+        marker_dir = Path(self.marker_dir)
+        marker_dir.mkdir(parents=True, exist_ok=True)
+        for fault in self.faults:
+            if fault.shard == shard and lo <= fault.hour < hi:
+                (marker_dir / f"disarm-{fault.marker()}").touch()
+
+
+def install_process_faults(worker, chaos: ProcessChaos) -> None:
+    """Arm *chaos*'s faults for *worker* inside its hosting process.
+
+    Installs a :attr:`ShardWorker.seam_hook` that, when a scheduled
+    ``(seam, hour)`` is reached, records the one-shot marker and then
+    either SIGKILLs the hosting process or hangs it.  Called by the
+    supervised shard host after building (or recovering) its worker.
+    """
+    faults = chaos.for_shard(worker.shard_id)
+    if not faults:
+        return
+    marker_dir = Path(chaos.marker_dir)
+    marker_dir.mkdir(parents=True, exist_ok=True)
+
+    def hook(point: str, hour: int) -> None:
+        for fault in faults:
+            if (fault.seam, fault.hour) != (point, int(hour)):
+                continue
+            marker = marker_dir / fault.marker()
+            if not fault.persistent and marker.exists():
+                continue
+            if (marker_dir / f"disarm-{fault.marker()}").exists():
+                continue
+            marker.touch()
+            if fault.action == "sigkill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(fault.hang_secs)
+
+    worker.seam_hook = hook
+
+
+def corrupt_wal_tail(shard_dir: str | Path, n_bytes: int = 74) -> Path | None:
+    """Append garbage to the newest WAL segment under *shard_dir*.
+
+    Models the torn tail a ``kill -9`` mid-append leaves behind: the
+    garbage never forms an intact CRC-guarded record, so reopening the
+    journal (or replaying it) must truncate it and recover every intact
+    record before it.  Returns the corrupted segment path, or ``None``
+    when the directory holds no segment yet.
+    """
+    segments = sorted(Path(shard_dir).glob("wal-*.log"))
+    if not segments:
+        return None
+    with open(segments[-1], "ab") as handle:
+        handle.write(b"\xde\xad\xbe\xef" * (n_bytes // 4 + 1))
+    return segments[-1]
 
 
 def _hour_rng(seed: int, hour: int) -> np.random.Generator:

@@ -33,7 +33,41 @@ from repro.serve.ingest import StreamIngestor
 from repro.serve.registry import ModelRegistry
 from repro.serve.telemetry import ServeTelemetry
 
-__all__ = ["ResilientPredictionEngine"]
+__all__ = ["ResilientPredictionEngine", "fallback_scores"]
+
+
+def fallback_scores(
+    n_sectors: int,
+    *,
+    last_good: np.ndarray | None = None,
+    persist: PersistModel | None = None,
+    persist_args: tuple | None = None,
+    seed_key: tuple = (),
+) -> tuple[np.ndarray, str]:
+    """Walk the degradation ladder and return ``(scores, level)``.
+
+    The shared ladder behind every degraded answer in the system —
+    :class:`ResilientPredictionEngine` fallbacks and the fleet
+    supervisor's degraded-shard fragments both resolve through it:
+
+    1. ``last_good`` — a copy of the most recent successful scores;
+    2. ``persist.forecast(*persist_args)`` — the Persist baseline, when
+       ring state is available to compute it;
+    3. seeded random — chance-level scores from
+       ``default_rng(list(seed_key))``, the answer of last resort.
+
+    Never raises: a failing Persist step falls through to random.
+    """
+    if last_good is not None:
+        return np.asarray(last_good, dtype=np.float64).copy(), "last_forecast"
+    if persist is not None and persist_args is not None:
+        try:
+            scores = np.asarray(persist.forecast(*persist_args), dtype=np.float64)
+            return scores, "persist"
+        except Exception:  # noqa: BLE001 - ladder must not raise
+            pass
+    rng = np.random.default_rng(list(seed_key))
+    return rng.random(n_sectors), "random"
 
 
 class ResilientPredictionEngine(PredictionEngine):
@@ -125,26 +159,19 @@ class ResilientPredictionEngine(PredictionEngine):
         reason: str,
     ) -> np.ndarray:
         model_name = key[0]
-        cached = self._last_good.get(key)
-        if cached is not None:
-            scores, level = cached.copy(), "last_forecast"
-        else:
-            try:
-                scores = np.asarray(
-                    self._persist.forecast(
-                        self.ingestor.score_daily,
-                        self.ingestor.labels_daily,
-                        t_day,
-                        horizon,
-                        window,
-                    ),
-                    dtype=np.float64,
-                )
-                level = "persist"
-            except Exception:  # noqa: BLE001 - last resort must not raise
-                rng = np.random.default_rng([self.fallback_seed, t_day, horizon])
-                scores = rng.random(self.ingestor.n_sectors)
-                level = "random"
+        scores, level = fallback_scores(
+            self.ingestor.n_sectors,
+            last_good=self._last_good.get(key),
+            persist=self._persist,
+            persist_args=(
+                self.ingestor.score_daily,
+                self.ingestor.labels_daily,
+                t_day,
+                horizon,
+                window,
+            ),
+            seed_key=(self.fallback_seed, t_day, horizon),
+        )
         self.telemetry.inc("degraded_predictions")
         self.telemetry.event(
             "degraded",

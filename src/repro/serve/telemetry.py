@@ -146,6 +146,19 @@ class ServeTelemetry:
         """Current value of counter *name* (0 if never incremented)."""
         return self._counters.get(name, 0)
 
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """Name-sorted counters filtered to those starting with *prefix*.
+
+        ``counters("events_")`` pulls the per-kind event totals,
+        ``counters("worker_")`` the supervisor's restart bookkeeping —
+        handy for status lines that report one counter family.
+        """
+        return {
+            name: value
+            for name, value in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
     # ------------------------------------------------------------ latencies
     def histogram(self, name: str) -> LatencyHistogram:
         """The histogram registered under *name* (created on first use)."""
