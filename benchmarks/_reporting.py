@@ -10,10 +10,28 @@ on.
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 _RESULTS_DIR = Path(__file__).parent / "results"
 _REPORTS: dict[str, str] = {}
+
+
+def peak_rss_mb() -> float | None:
+    """Peak resident set size of this process, in MB (None off-POSIX).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the number
+    is a high-water mark, so call it once at the end of the measured
+    work.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak /= 1024.0
+    return round(peak / 1024.0, 1)
 
 
 def report(name: str, text: str) -> None:

@@ -35,7 +35,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _reporting import format_table, report
+from _reporting import format_table, peak_rss_mb, report
 
 from repro import (
     GeneratorConfig,
@@ -56,12 +56,18 @@ from repro.serve import (
 )
 
 DEFAULT_OUT = Path(__file__).parent.parent / "BENCH_fleet_replay.json"
+TIER_OUT = Path(__file__).parent.parent / "BENCH_fleet_replay_tier.json"
 EVENT_LOG = Path(__file__).parent / "results" / "fleet_events.jsonl"
 
 MODEL = "Average"
 WINDOW = 7
 HORIZONS = (1,)
 TOP_K = 5
+
+#: Default replay span of the --tier mode: one window of ring warm-up
+#: plus a few prediction days — enough to exercise the mmap read path
+#: end to end while keeping the leg CI-sized even at paper scale.
+TIER_HOURS = (WINDOW + 3) * 24
 
 
 def _build_dataset(n_towers: int, n_weeks: int):
@@ -215,6 +221,100 @@ def run_bench(smoke: bool = False, shard_counts: tuple[int, ...] | None = None) 
     }
 
 
+def run_tier_bench(
+    tier_name: str,
+    world_dir: Path,
+    hours: int | None = None,
+    shards: int = 2,
+    chunk_weeks: int | None = None,
+) -> dict:
+    """Replay a memory-mapped size-tier world through the fleet.
+
+    The out-of-core leg of the bench: the world lives in a chunked
+    store (generated here, streaming, if *world_dir* is empty) and is
+    served via ``open_dataset_mmap`` without ever materialising the
+    full K tensor.  A small in-RAM companion world trains the served
+    model — model inputs are per-sector features, so the sector count
+    of the training world is independent of the served one.  Peak RSS
+    is recorded next to throughput; at paper scale it must stay far
+    below the in-RAM tensor size.
+
+    Replay worlds are generated ``with_missing=False``: the serving
+    engine requires imputed windows (the batch pipeline rejects
+    incomplete tensors the same way), and streaming imputation is out
+    of scope here.  The canonical with-missing tier worlds are the
+    subject of the content-hash determinism checks, not of this leg.
+    """
+    from repro.data.chunked import open_dataset_mmap
+    from repro.synth import SIZE_TIERS
+
+    tier = SIZE_TIERS[tier_name]
+    world_dir = Path(world_dir)
+    generated = False
+    generate_seconds = None
+    if not (world_dir / "manifest.json").exists():
+        start = time.perf_counter()
+        TelemetryGenerator(tier.config()).generate_chunked(
+            world_dir,
+            chunk_weeks=chunk_weeks or tier.chunk_weeks,
+            with_missing=False,
+            generator_meta={"tier": tier.name},
+        )
+        generate_seconds = round(time.perf_counter() - start, 2)
+        generated = True
+    world = open_dataset_mmap(world_dir)
+    assert world.kpis.is_memory_mapped, "tier world must be served from mmap"
+    end_hour = min(hours or TIER_HOURS, world.kpis.n_hours)
+
+    companion = _build_dataset(n_towers=10, n_weeks=4)
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        _train(companion, root / "registry")
+        config = FleetConfig.for_dataset(
+            world, root / "registry", model=MODEL, window=WINDOW,
+            horizons=HORIZONS, start_day=WINDOW, top_k=TOP_K, w_max=WINDOW,
+        )
+        fleet = build_fleet(root / "fleet", config, shards, jobs=1)
+        try:
+            lines, seconds = _drive(fleet, world, end_hour)
+        finally:
+            fleet.close()
+
+    in_ram_mb = round(world.kpis.nbytes / 2**20, 1)
+    rss_mb = peak_rss_mb()
+    return {
+        "bench": "fleet_replay_tier",
+        "tier": tier.name,
+        "world_dir": str(world_dir),
+        "generated_here": generated,
+        "generate_seconds": generate_seconds,
+        "n_sectors": world.n_sectors,
+        "world_hours": world.kpis.n_hours,
+        "stream_hours": end_hour,
+        "shards": shards,
+        "event_lines": len(lines),
+        "seconds": round(seconds, 4),
+        "ticks_per_second": round(end_hour / seconds, 1) if seconds else None,
+        "in_ram_tensor_mb": in_ram_mb,
+        "peak_rss_mb": rss_mb,
+        "rss_below_in_ram": None if rss_mb is None else bool(rss_mb < in_ram_mb),
+    }
+
+
+def _render_tier(summary: dict) -> str:
+    return (
+        f"Fleet replay, tier '{summary['tier']}' served from mmap "
+        f"({summary['world_dir']}):\n"
+        f"  {summary['n_sectors']} sectors x {summary['world_hours']} h on disk; "
+        f"replayed {summary['stream_hours']} h over {summary['shards']} shards\n"
+        f"  {summary['event_lines']} event lines in {summary['seconds']:.2f}s "
+        f"({summary['ticks_per_second']} ticks/s)\n"
+        f"  peak RSS {summary['peak_rss_mb']} MB vs "
+        f"{summary['in_ram_tensor_mb']} MB in-RAM tensor "
+        f"(below: {summary['rss_below_in_ram']})"
+    )
+
+
 def _render(summary: dict) -> str:
     single = summary["single_engine"]
     rows = [["single", "-", "-", f"{single['seconds']:.2f}s",
@@ -262,18 +362,48 @@ def main(argv: list[str] | None = None) -> int:
         help="shard counts to benchmark (default: 1 2 [4])",
     )
     parser.add_argument(
-        "--out", type=Path, default=DEFAULT_OUT,
-        help=f"JSON summary path (default {DEFAULT_OUT})",
+        "--out", type=Path, default=None,
+        help=f"JSON summary path (default {DEFAULT_OUT}, "
+        f"or {TIER_OUT} with --tier)",
+    )
+    parser.add_argument(
+        "--tier", default=None,
+        help="opt-in out-of-core mode: replay a named size tier "
+        "(small/paper/national) from a memory-mapped chunked store "
+        "instead of the in-RAM parity bench",
+    )
+    parser.add_argument(
+        "--world-dir", type=Path, default=None,
+        help="chunked store of the --tier world (generated here, "
+        "streaming, when missing)",
+    )
+    parser.add_argument(
+        "--hours", type=int, default=None,
+        help=f"replay span of the --tier mode (default {TIER_HOURS})",
     )
     args = parser.parse_args(argv)
+
+    if args.tier is not None:
+        if args.world_dir is None:
+            parser.error("--tier requires --world-dir")
+        summary = run_tier_bench(
+            args.tier, args.world_dir, hours=args.hours,
+            shards=max(args.shards) if args.shards else 2,
+        )
+        report("fleet_replay_tier", _render_tier(summary))
+        out = args.out or TIER_OUT
+        out.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+        return 0
 
     summary = run_bench(
         smoke=args.smoke,
         shard_counts=None if args.shards is None else tuple(args.shards),
     )
     report("fleet_replay", _render(summary))
-    args.out.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {args.out}")
+    out = args.out or DEFAULT_OUT
+    out.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
     print(f"wrote {summary['event_log']}")
     return 0
 

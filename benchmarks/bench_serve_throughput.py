@@ -45,7 +45,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _reporting import format_table, report
+from _reporting import format_table, peak_rss_mb, report
 
 import repro.core.feature_sets as feature_sets
 import repro.ml.forest as forest_mod
@@ -391,6 +391,71 @@ def run_bench(smoke: bool = False) -> dict:
     }
 
 
+# ---------------------------------------------------------------- tier leg
+def run_tier_leg(tier_name: str, world_dir: Path, hours: int | None = None) -> dict:
+    """Opt-in out-of-core leg: serve a memory-mapped tier world.
+
+    Separate from :func:`run_bench` and from the regression gate — the
+    gate compares packed vs legacy on the in-RAM worlds; this leg
+    measures the mmap read path (columnar micro-batches straight off
+    ``open_dataset_mmap`` views) and its peak RSS at tier scale.
+    """
+    from repro.data.chunked import open_dataset_mmap
+    from repro.synth import SIZE_TIERS
+
+    tier = SIZE_TIERS[tier_name]
+    world_dir = Path(world_dir)
+    if not (world_dir / "manifest.json").exists():
+        # with_missing=False: the serving engine requires imputed
+        # windows; see run_tier_bench in bench_fleet_replay.
+        TelemetryGenerator(tier.config()).generate_chunked(
+            world_dir, chunk_weeks=tier.chunk_weeks, with_missing=False,
+            generator_meta={"tier": tier.name},
+        )
+    world = open_dataset_mmap(world_dir)
+    params = SMOKE
+    end_hour = min(hours or (params["window"] + 3) * 24, world.kpis.n_hours)
+
+    companion = _build_dataset(params["n_towers"], params["n_weeks"])
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        _train(companion, root / "registry", params)
+        registry = ModelRegistry(root / "registry")
+        service = _make_service(world, registry, params["window"], params)
+        lines, seconds = _drive_service(service, world, end_hour, BATCH_HOURS)
+
+    in_ram_mb = round(world.kpis.nbytes / 2**20, 1)
+    rss_mb = peak_rss_mb()
+    return {
+        "bench": "serve_throughput_tier",
+        "tier": tier.name,
+        "world_dir": str(world_dir),
+        "n_sectors": world.n_sectors,
+        "world_hours": world.kpis.n_hours,
+        "stream_hours": end_hour,
+        "batch_hours": BATCH_HOURS,
+        "event_lines": len(lines),
+        "seconds": round(seconds, 4),
+        "ticks_per_second": round(end_hour / seconds, 1) if seconds else None,
+        "in_ram_tensor_mb": in_ram_mb,
+        "peak_rss_mb": rss_mb,
+        "rss_below_in_ram": None if rss_mb is None else bool(rss_mb < in_ram_mb),
+    }
+
+
+def _render_tier(summary: dict) -> str:
+    return (
+        f"Serve throughput, tier '{summary['tier']}' served from mmap "
+        f"({summary['world_dir']}):\n"
+        f"  {summary['n_sectors']} sectors, replayed {summary['stream_hours']} h "
+        f"in {summary['batch_hours']}-hour micro-batches: "
+        f"{summary['seconds']:.2f}s ({summary['ticks_per_second']} ticks/s)\n"
+        f"  peak RSS {summary['peak_rss_mb']} MB vs "
+        f"{summary['in_ram_tensor_mb']} MB in-RAM tensor "
+        f"(below: {summary['rss_below_in_ram']})"
+    )
+
+
 # ------------------------------------------------------------------- gate
 def regression_gate(summary: dict, baseline_path: Path = DEFAULT_OUT) -> list[str]:
     """Failure reasons, empty when the gate passes.
@@ -476,7 +541,35 @@ def main(argv: list[str] | None = None) -> int:
         "--out", type=Path, default=DEFAULT_OUT,
         help=f"JSON summary path (default {DEFAULT_OUT})",
     )
+    parser.add_argument(
+        "--tier", default=None,
+        help="opt-in out-of-core leg: serve a named size tier "
+        "(small/paper/national) from a memory-mapped chunked store; "
+        "runs instead of the gate bench and writes its own summary",
+    )
+    parser.add_argument(
+        "--world-dir", type=Path, default=None,
+        help="chunked store of the --tier world (generated when missing)",
+    )
+    parser.add_argument(
+        "--hours", type=int, default=None,
+        help="replay span of the --tier leg",
+    )
     args = parser.parse_args(argv)
+
+    if args.tier is not None:
+        if args.world_dir is None:
+            parser.error("--tier requires --world-dir")
+        summary = run_tier_leg(args.tier, args.world_dir, hours=args.hours)
+        report("serve_throughput_tier", _render_tier(summary))
+        out = (
+            args.out
+            if args.out != DEFAULT_OUT
+            else DEFAULT_OUT.with_name("BENCH_serve_throughput_tier.json")
+        )
+        out.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+        return 0
 
     summary = run_bench(smoke=args.smoke)
     report("serve_throughput", _render(summary))

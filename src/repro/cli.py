@@ -37,7 +37,12 @@ from repro.analysis import dynamics_report
 from repro.core.experiment import ALL_MODEL_NAMES, SweepGrid, SweepRunner
 from repro.core.forecaster import MODEL_REGISTRY
 from repro.core.scoring import attach_scores
-from repro.data.store import load_dataset, save_dataset, save_result_table
+from repro.data.store import (
+    CorruptStoreError,
+    load_dataset,
+    save_dataset,
+    save_result_table,
+)
 from repro.data.tensor import HOURS_PER_DAY
 from repro.fleet import FleetConfig, SupervisorConfig, build_fleet, recover_fleet
 from repro.imputation import DAEImputer, DAEImputerConfig, filter_sectors
@@ -59,7 +64,7 @@ from repro.serve import (
     StreamIngestor,
     train_and_register,
 )
-from repro.synth import GeneratorConfig, TelemetryGenerator
+from repro.synth import SIZE_TIERS, GeneratorConfig, TelemetryGenerator
 
 __all__ = ["main"]
 
@@ -71,8 +76,35 @@ def _info(message: str, quiet: bool, file=None) -> None:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    config = GeneratorConfig(n_towers=args.towers, n_weeks=args.weeks, seed=args.seed)
-    dataset = TelemetryGenerator(config).generate()
+    if args.tier is not None:
+        tier = SIZE_TIERS[args.tier]
+        config = tier.config()
+        chunk_weeks = args.chunk_weeks or tier.chunk_weeks
+    else:
+        config = GeneratorConfig(
+            n_towers=args.towers, n_weeks=args.weeks, seed=args.seed
+        )
+        chunk_weeks = args.chunk_weeks or 1
+    generator = TelemetryGenerator(config)
+    if args.chunked:
+        meta = {"tier": args.tier} if args.tier else None
+        path, manifest = generator.generate_chunked(
+            args.out, chunk_weeks=chunk_weeks, generator_meta=meta
+        )
+        _info(
+            f"wrote chunked dataset ({manifest['n_sectors']} sectors x "
+            f"{manifest['n_hours']} h, {len(manifest['chunks'])} chunks, "
+            f"sha256 {manifest['content_hash'][:12]}) to {path}",
+            args.quiet,
+        )
+        return 0
+    if args.tier is not None:
+        # A tier names one exact world, so tier datasets always come from
+        # the streaming path — the .npz and a chunked store of the same
+        # tier hold bitwise-identical telemetry.
+        dataset = generator.generate_streamed()
+    else:
+        dataset = generator.generate()
     path = save_dataset(dataset, args.out)
     _info(f"wrote {dataset.kpis} to {path}", args.quiet)
     return 0
@@ -662,6 +694,26 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--towers", type=int, default=100)
     gen.add_argument("--weeks", type=int, default=18)
     gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument(
+        "--tier",
+        choices=sorted(SIZE_TIERS),
+        default=None,
+        help="named world size (overrides --towers/--weeks/--seed); "
+        + "; ".join(f"{t.name}: {t.description}" for t in SIZE_TIERS.values()),
+    )
+    gen.add_argument(
+        "--chunked",
+        action="store_true",
+        help="write a chunked, memory-mappable dataset directory instead "
+        "of a .npz archive (required for worlds that exceed RAM)",
+    )
+    gen.add_argument(
+        "--chunk-weeks",
+        type=int,
+        default=None,
+        help="weeks per chunk for --chunked (default: the tier's, else 1); "
+        "the stored telemetry and content hash are chunk-size independent",
+    )
     gen.add_argument("--out", required=True)
     gen.set_defaults(func=_cmd_generate)
 
@@ -848,6 +900,16 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
+        return 1
+    except CorruptStoreError as error:
+        # Machine-readable single-line failure instead of a stack trace:
+        # serving pipelines parse the JSONL streams these commands emit.
+        print(
+            json.dumps(
+                {"type": "error", "error": "corrupt-store", "message": str(error)}
+            ),
+            file=sys.stderr,
+        )
         return 1
     except BrokenPipeError:
         # Downstream consumer (head, a dead socket) closed our stdout.

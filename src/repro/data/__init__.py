@@ -7,24 +7,46 @@
   bundle tying together KPIs, calendar, geography, scores, and labels.
 * :mod:`repro.data.store` — npz-backed persistence for datasets and
   experiment results.
+* :mod:`repro.data.chunked` — the out-of-core store: per-week ``.npy``
+  chunks + hashed manifest, opened as memory-mapped
+  :class:`~repro.data.tensor.KPITensor` arrays.
 """
 
+from repro.data.chunked import (
+    ChunkedDatasetWriter,
+    dataset_content_hash,
+    open_dataset_mmap,
+    save_dataset_chunked,
+    verify_chunked_dataset,
+)
 from repro.data.dataset import Dataset, SectorGeography
 from repro.data.export import write_rows_csv, write_series_csv, write_sweep_csv
-from repro.data.store import load_dataset, load_result_table, save_dataset, save_result_table
+from repro.data.store import (
+    CorruptStoreError,
+    load_dataset,
+    load_result_table,
+    save_dataset,
+    save_result_table,
+)
 from repro.data.tensor import HOURS_PER_DAY, HOURS_PER_WEEK, KPITensor, TimeAxis
 
 __all__ = [
+    "ChunkedDatasetWriter",
+    "CorruptStoreError",
     "Dataset",
     "HOURS_PER_DAY",
     "HOURS_PER_WEEK",
     "KPITensor",
     "SectorGeography",
     "TimeAxis",
+    "dataset_content_hash",
     "load_dataset",
     "load_result_table",
+    "open_dataset_mmap",
     "save_dataset",
+    "save_dataset_chunked",
     "save_result_table",
+    "verify_chunked_dataset",
     "write_rows_csv",
     "write_series_csv",
     "write_sweep_csv",

@@ -1,0 +1,512 @@
+"""Out-of-core dataset store: per-week ``.npy`` chunks + hashed manifest.
+
+The monolithic ``.npz`` archive of :mod:`repro.data.store` requires the
+whole K-tensor in RAM on both ends.  At the paper's deployment scale
+(tens of thousands of sectors x 18 weeks x 21 KPIs) that is several
+gigabytes per array, so this module stores the tensor as a *directory*:
+
+.. code-block:: text
+
+    world.kdir/
+      manifest.json             # schema below; written last = commit point
+      chunks/values_00000.npy   # hour-major (chunk_hours, n_sectors, n_kpis)
+      chunks/missing_00000.npy  # same grid, bool
+      geography.npz             # positions_km / tower_ids / land_use
+      calendar.npy              # (n_hours, 5) enriched calendar C
+      extras.npz                # optional score/label arrays (if attached)
+      mmap/values.npy           # derived: consolidated memmap cache
+      mmap/missing.npy          #   (built lazily by open_dataset_mmap)
+      mmap/meta.json            #   {"content_hash": ...} validity stamp
+
+Design notes
+------------
+
+* **Chunks are the canonical format.**  Each chunk covers
+  ``chunk_hours`` consecutive hours (default one week, 168) and is
+  written atomically (same-directory temp file + ``os.replace``).  The
+  manifest records shapes, dtypes, and a per-chunk sha256, and is
+  itself written atomically *after* every chunk and sidecar — a crash
+  mid-save leaves either the previous complete store or none, never a
+  torn one.
+* **Hour-major layout.**  Chunks are stored ``(hours, sectors, kpis)``
+  so a serving tick ``K[:, hour, :]`` is one contiguous slab; the
+  sector-major view consumers expect is recovered with a zero-copy
+  ``transpose(1, 0, 2)`` on the memmap.
+* **The content hash identifies the world, not the chunking.**  It is
+  the sha256 of a fixed header plus the canonical hour-major bytes of
+  ``values`` then ``missing`` per chunk, in hour order — bitwise equal
+  worlds hash equal regardless of ``chunk_hours``, and
+  :func:`dataset_content_hash` computes the same digest for an in-RAM
+  :class:`~repro.data.dataset.Dataset`.
+* **``open_dataset_mmap`` never holds the tensor in RAM.**  On first
+  open it consolidates the chunks into ``mmap/*.npy`` files
+  chunk-at-a-time (peak RSS stays O(chunk)), stamps them with the
+  manifest's content hash, and maps them read-only; later opens just
+  re-map.  The returned :class:`~repro.data.tensor.KPITensor` wraps the
+  read-only memmaps — consumers must copy before mutating (everything
+  in the repo already does).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset, SectorGeography
+from repro.data.store import (
+    CorruptStoreError,
+    _OPTIONAL_FIELDS,
+    _atomic_replace,
+    write_json_atomic,
+)
+from repro.data.tensor import HOURS_PER_WEEK, KPITensor, TimeAxis
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ChunkedDatasetWriter",
+    "save_dataset_chunked",
+    "open_dataset_mmap",
+    "load_manifest",
+    "verify_chunked_dataset",
+    "iter_dataset_chunks",
+    "dataset_content_hash",
+]
+
+MANIFEST_NAME = "manifest.json"
+_FORMAT = "hotspot-chunked-dataset"
+_VERSION = 1
+_VALUES_DTYPE = "float64"
+_MISSING_DTYPE = "bool"
+
+
+def _hash_header(n_sectors: int, n_hours: int, n_kpis: int) -> bytes:
+    """Fixed hash preamble; shape-dependent, chunking-independent."""
+    return f"{_FORMAT}:v{_VERSION}:{n_sectors}:{n_hours}:{n_kpis}".encode("ascii")
+
+
+class _ContentHasher:
+    """Chunking-independent digest of a (values, missing) tensor pair.
+
+    The values and missing byte streams are hashed *separately* (each a
+    plain concatenation of hour-major chunk bytes, so any chunk grid
+    over the same world feeds each hasher the identical stream) and the
+    two digests are folded together with the shape header at the end.
+    """
+
+    def __init__(self, n_sectors: int, n_hours: int, n_kpis: int) -> None:
+        self._header = _hash_header(n_sectors, n_hours, n_kpis)
+        self._values = hashlib.sha256()
+        self._missing = hashlib.sha256()
+
+    def update(self, values_bytes: bytes, missing_bytes: bytes) -> None:
+        self._values.update(values_bytes)
+        self._missing.update(missing_bytes)
+
+    def hexdigest(self) -> str:
+        outer = hashlib.sha256(self._header)
+        outer.update(self._values.digest())
+        outer.update(self._missing.digest())
+        return outer.hexdigest()
+
+
+def _canonical_chunk(array: np.ndarray, dtype: str) -> np.ndarray:
+    """Hour-major ``(hours, sectors, kpis)`` contiguous array for storage/hash."""
+    return np.ascontiguousarray(array, dtype=np.dtype(dtype))
+
+
+def _save_npy_atomic(path: Path, array: np.ndarray) -> None:
+    with _atomic_replace(path) as handle:
+        np.save(handle, array)
+
+
+class ChunkedDatasetWriter:
+    """Stream a dataset to disk one hour-range at a time.
+
+    Feed sector-major blocks ``(n_sectors, block_hours, n_kpis)`` to
+    :meth:`append` in hour order, then :meth:`finalize`.  Every block
+    must cover exactly ``chunk_hours`` hours except the last, which may
+    be shorter.  RAM stays O(one chunk) plus the small sidecars.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        n_sectors: int,
+        n_hours: int,
+        kpi_names: list[str],
+        geography: SectorGeography,
+        calendar: np.ndarray,
+        start_weekday: int = 0,
+        start_hour: int = 0,
+        chunk_hours: int = HOURS_PER_WEEK,
+        generator_meta: dict | None = None,
+    ) -> None:
+        if chunk_hours <= 0:
+            raise ValueError(f"chunk_hours must be positive, got {chunk_hours}")
+        self.root = Path(root)
+        self.n_sectors = int(n_sectors)
+        self.n_hours = int(n_hours)
+        self.n_kpis = len(kpi_names)
+        self.kpi_names = list(kpi_names)
+        self.chunk_hours = int(chunk_hours)
+        self.start_weekday = int(start_weekday)
+        self.start_hour = int(start_hour)
+        self.generator_meta = dict(generator_meta) if generator_meta else None
+        self._geography = geography
+        self._calendar = np.asarray(calendar, dtype=np.float64)
+        self._chunks: list[dict] = []
+        self._next_hour = 0
+        self._hasher = _ContentHasher(self.n_sectors, self.n_hours, self.n_kpis)
+        self._finalized = False
+        (self.root / "chunks").mkdir(parents=True, exist_ok=True)
+
+    def append(self, values: np.ndarray, missing: np.ndarray) -> dict:
+        """Write the next chunk; returns its manifest record."""
+        if self._finalized:
+            raise RuntimeError("writer already finalized")
+        values = np.asarray(values)
+        missing = np.asarray(missing)
+        block_hours = values.shape[1] if values.ndim == 3 else -1
+        expected = min(self.chunk_hours, self.n_hours - self._next_hour)
+        if values.shape != (self.n_sectors, block_hours, self.n_kpis) or (
+            block_hours != expected
+        ):
+            raise ValueError(
+                f"chunk {len(self._chunks)} must be "
+                f"({self.n_sectors}, {expected}, {self.n_kpis}), got {values.shape}"
+            )
+        if missing.shape != values.shape:
+            raise ValueError(
+                f"missing shape {missing.shape} != values shape {values.shape}"
+            )
+
+        index = len(self._chunks)
+        values_hm = _canonical_chunk(values.transpose(1, 0, 2), _VALUES_DTYPE)
+        missing_hm = _canonical_chunk(missing.transpose(1, 0, 2), _MISSING_DTYPE)
+        values_rel = f"chunks/values_{index:05d}.npy"
+        missing_rel = f"chunks/missing_{index:05d}.npy"
+        _save_npy_atomic(self.root / values_rel, values_hm)
+        _save_npy_atomic(self.root / missing_rel, missing_hm)
+
+        values_digest = hashlib.sha256(values_hm.tobytes()).hexdigest()
+        missing_digest = hashlib.sha256(missing_hm.tobytes()).hexdigest()
+        self._hasher.update(values_hm.tobytes(), missing_hm.tobytes())
+
+        record = {
+            "index": index,
+            "first_hour": self._next_hour,
+            "n_hours": int(block_hours),
+            "values": values_rel,
+            "missing": missing_rel,
+            "sha256_values": values_digest,
+            "sha256_missing": missing_digest,
+        }
+        self._chunks.append(record)
+        self._next_hour += int(block_hours)
+        return record
+
+    def finalize(self, extras: dict[str, np.ndarray] | None = None) -> dict:
+        """Write sidecars and commit the manifest; returns the manifest."""
+        if self._finalized:
+            raise RuntimeError("writer already finalized")
+        if self._next_hour != self.n_hours:
+            raise ValueError(
+                f"wrote {self._next_hour} of {self.n_hours} hours; "
+                "append the remaining chunks before finalize()"
+            )
+        if self._calendar.shape != (self.n_hours, 5):
+            raise ValueError(
+                f"calendar must be ({self.n_hours}, 5), got {self._calendar.shape}"
+            )
+
+        geo = self._geography
+        with _atomic_replace(self.root / "geography.npz") as handle:
+            np.savez(
+                handle,
+                positions_km=geo.positions_km,
+                tower_ids=geo.tower_ids,
+                land_use=geo.land_use,
+            )
+        _save_npy_atomic(self.root / "calendar.npy", self._calendar)
+        sidecars = {"geography": "geography.npz", "calendar": "calendar.npy"}
+        extras = {k: v for k, v in (extras or {}).items() if v is not None}
+        if extras:
+            unknown = set(extras) - set(_OPTIONAL_FIELDS)
+            if unknown:
+                raise ValueError(f"unknown extra arrays: {sorted(unknown)}")
+            with _atomic_replace(self.root / "extras.npz") as handle:
+                np.savez(handle, **extras)
+            sidecars["extras"] = "extras.npz"
+
+        manifest = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "n_sectors": self.n_sectors,
+            "n_hours": self.n_hours,
+            "n_kpis": self.n_kpis,
+            "chunk_hours": self.chunk_hours,
+            "layout": "hour-major",
+            "dtype_values": _VALUES_DTYPE,
+            "dtype_missing": _MISSING_DTYPE,
+            "kpi_names": self.kpi_names,
+            "start_weekday": self.start_weekday,
+            "start_hour": self.start_hour,
+            "chunks": self._chunks,
+            "content_hash": self._hasher.hexdigest(),
+            "sidecars": sidecars,
+        }
+        if self.generator_meta is not None:
+            manifest["generator"] = self.generator_meta
+        write_json_atomic(self.root / MANIFEST_NAME, manifest)
+        self._finalized = True
+        return manifest
+
+
+def save_dataset_chunked(
+    dataset: Dataset,
+    root: str | Path,
+    chunk_hours: int = HOURS_PER_WEEK,
+    generator_meta: dict | None = None,
+) -> Path:
+    """Write an in-RAM *dataset* as a chunked store rooted at *root*.
+
+    Counterpart of :func:`repro.data.store.save_dataset` for the
+    directory format; round-trips through :func:`open_dataset_mmap`
+    bitwise.  Returns *root*.
+    """
+    kpis = dataset.kpis
+    writer = ChunkedDatasetWriter(
+        root,
+        n_sectors=kpis.n_sectors,
+        n_hours=kpis.n_hours,
+        kpi_names=kpis.kpi_names,
+        geography=dataset.geography,
+        calendar=dataset.calendar,
+        start_weekday=kpis.time_axis.start_weekday,
+        start_hour=kpis.time_axis.start_hour,
+        chunk_hours=chunk_hours,
+        generator_meta=generator_meta,
+    )
+    for lo in range(0, kpis.n_hours, chunk_hours):
+        hi = min(lo + chunk_hours, kpis.n_hours)
+        writer.append(kpis.values[:, lo:hi, :], kpis.missing[:, lo:hi, :])
+    writer.finalize(
+        extras={name: getattr(dataset, name) for name in _OPTIONAL_FIELDS}
+    )
+    return Path(root)
+
+
+def load_manifest(root: str | Path) -> dict:
+    """Read and sanity-check a chunked-store manifest."""
+    root = Path(root)
+    path = root / MANIFEST_NAME
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no chunked dataset at '{root}' (missing {MANIFEST_NAME}); "
+            "run 'hotspot-repro generate --chunked' or save_dataset_chunked() first"
+        )
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CorruptStoreError(
+            f"chunked-store manifest '{path}' is corrupt ({error}); "
+            "regenerate the store"
+        ) from error
+    if manifest.get("format") != _FORMAT or manifest.get("version") != _VERSION:
+        raise CorruptStoreError(
+            f"'{path}' is not a {_FORMAT} v{_VERSION} manifest "
+            f"(format={manifest.get('format')!r}, version={manifest.get('version')!r})"
+        )
+    return manifest
+
+
+def iter_dataset_chunks(root: str | Path):
+    """Yield ``(first_hour, values, missing)`` per chunk, sector-major.
+
+    Each chunk is memory-mapped, so iterating a paper-scale store keeps
+    RSS at O(one chunk's touched pages).  The yielded arrays are
+    read-only views ``(n_sectors, chunk_hours, n_kpis)``.
+    """
+    root = Path(root)
+    manifest = load_manifest(root)
+    for record in manifest["chunks"]:
+        values = _load_chunk(root, record, "values")
+        missing = _load_chunk(root, record, "missing")
+        yield record["first_hour"], values.transpose(1, 0, 2), missing.transpose(1, 0, 2)
+
+
+def _load_chunk(root: Path, record: dict, kind: str) -> np.ndarray:
+    path = root / record[kind]
+    if not path.exists():
+        raise CorruptStoreError(
+            f"chunked store at '{root}' is missing chunk file '{record[kind]}' "
+            "listed in its manifest; regenerate the store"
+        )
+    try:
+        return np.load(path, mmap_mode="r")
+    except ValueError as error:
+        raise CorruptStoreError(
+            f"chunk file '{path}' is corrupt or truncated ({error}); "
+            "regenerate the store"
+        ) from error
+
+
+def verify_chunked_dataset(root: str | Path) -> dict:
+    """Re-hash every chunk against the manifest; returns the manifest.
+
+    Raises :class:`CorruptStoreError` on any mismatch or missing file.
+    """
+    root = Path(root)
+    manifest = load_manifest(root)
+    hasher = _ContentHasher(
+        manifest["n_sectors"], manifest["n_hours"], manifest["n_kpis"]
+    )
+    for record in manifest["chunks"]:
+        streams = {}
+        for kind in ("values", "missing"):
+            data = np.ascontiguousarray(_load_chunk(root, record, kind)).tobytes()
+            digest = hashlib.sha256(data).hexdigest()
+            if digest != record[f"sha256_{kind}"]:
+                raise CorruptStoreError(
+                    f"chunk '{record[kind]}' of '{root}' fails its manifest hash "
+                    f"(expected {record[f'sha256_{kind}'][:12]}..., "
+                    f"got {digest[:12]}...); the store is damaged — regenerate it"
+                )
+            streams[kind] = data
+        hasher.update(streams["values"], streams["missing"])
+    if hasher.hexdigest() != manifest["content_hash"]:
+        raise CorruptStoreError(
+            f"chunked store at '{root}' fails its overall content hash; "
+            "the store is damaged — regenerate it"
+        )
+    return manifest
+
+
+def dataset_content_hash(
+    dataset: Dataset, chunk_hours: int = HOURS_PER_WEEK
+) -> str:
+    """Content hash of an in-RAM dataset, comparable with manifests.
+
+    Computes exactly the digest :class:`ChunkedDatasetWriter` records,
+    so ``dataset_content_hash(load_dataset(p)) ==
+    load_manifest(root)["content_hash"]`` whenever the npz and chunked
+    stores hold the same world.  Independent of *chunk_hours* (chunks
+    are hashed back-to-back in hour order).
+    """
+    kpis = dataset.kpis
+    hasher = _ContentHasher(kpis.n_sectors, kpis.n_hours, kpis.n_kpis)
+    for lo in range(0, kpis.n_hours, chunk_hours):
+        hi = min(lo + chunk_hours, kpis.n_hours)
+        values = _canonical_chunk(
+            kpis.values[:, lo:hi, :].transpose(1, 0, 2), _VALUES_DTYPE
+        )
+        missing = _canonical_chunk(
+            kpis.missing[:, lo:hi, :].transpose(1, 0, 2), _MISSING_DTYPE
+        )
+        hasher.update(values.tobytes(), missing.tobytes())
+    return hasher.hexdigest()
+
+
+# ---------------------------------------------------------------- open
+
+
+def open_dataset_mmap(root: str | Path, verify: bool = False) -> Dataset:
+    """Open a chunked store as a memory-mapped :class:`Dataset`.
+
+    The returned dataset's KPI arrays are read-only ``np.memmap`` views
+    — bitwise equal to what :func:`~repro.data.store.load_dataset`
+    yields for the same world, but never resident in RAM beyond the
+    pages actually touched.  The first open consolidates the chunks
+    into ``mmap/*.npy`` cache files chunk-at-a-time; later opens re-use
+    them (validated against the manifest's content hash, rebuilt if
+    stale).  With *verify*, every chunk is re-hashed first.
+    """
+    root = Path(root)
+    manifest = verify_chunked_dataset(root) if verify else load_manifest(root)
+    values_path, missing_path = _ensure_consolidated(root, manifest)
+
+    values = np.load(values_path, mmap_mode="r").transpose(1, 0, 2)
+    missing = np.load(missing_path, mmap_mode="r").transpose(1, 0, 2)
+    tensor = KPITensor(
+        values=values,
+        missing=missing,
+        kpi_names=list(manifest["kpi_names"]),
+        time_axis=TimeAxis(
+            n_hours=int(manifest["n_hours"]),
+            start_weekday=int(manifest["start_weekday"]),
+            start_hour=int(manifest["start_hour"]),
+        ),
+    )
+
+    sidecars = manifest["sidecars"]
+    try:
+        with np.load(root / sidecars["geography"]) as archive:
+            geography = SectorGeography(
+                positions_km=archive["positions_km"],
+                tower_ids=archive["tower_ids"],
+                land_use=archive["land_use"],
+            )
+        calendar = np.load(root / sidecars["calendar"])
+        optional: dict[str, np.ndarray] = {}
+        if "extras" in sidecars:
+            with np.load(root / sidecars["extras"]) as archive:
+                optional = {name: archive[name] for name in archive.files}
+    except FileNotFoundError as error:
+        raise CorruptStoreError(
+            f"chunked store at '{root}' is missing sidecar '{error.filename}' "
+            "listed in its manifest; regenerate the store"
+        ) from error
+    return Dataset(kpis=tensor, geography=geography, calendar=calendar, **optional)
+
+
+def _ensure_consolidated(root: Path, manifest: dict) -> tuple[Path, Path]:
+    """Build (or validate) the consolidated memmap cache under ``root/mmap``."""
+    mmap_dir = root / "mmap"
+    meta_path = mmap_dir / "meta.json"
+    values_path = mmap_dir / "values.npy"
+    missing_path = mmap_dir / "missing.npy"
+    if meta_path.exists() and values_path.exists() and missing_path.exists():
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            meta = {}
+        if meta.get("content_hash") == manifest["content_hash"]:
+            return values_path, missing_path
+
+    mmap_dir.mkdir(parents=True, exist_ok=True)
+    shape = (
+        int(manifest["n_hours"]),
+        int(manifest["n_sectors"]),
+        int(manifest["n_kpis"]),
+    )
+    specs = (
+        (values_path, "values", np.dtype(manifest["dtype_values"])),
+        (missing_path, "missing", np.dtype(manifest["dtype_missing"])),
+    )
+    for path, kind, dtype in specs:
+        tmp = path.parent / f".{path.name}.build.tmp"
+        try:
+            out = np.lib.format.open_memmap(tmp, mode="w+", dtype=dtype, shape=shape)
+            for record in manifest["chunks"]:
+                lo = int(record["first_hour"])
+                hi = lo + int(record["n_hours"])
+                out[lo:hi] = _load_chunk(root, record, kind)
+            out.flush()
+            del out
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    write_json_atomic(
+        meta_path,
+        {"content_hash": manifest["content_hash"], "layout": "hour-major"},
+    )
+    return values_path, missing_path

@@ -75,6 +75,16 @@ class TimeAxis:
         return self.day_of_week() >= 5
 
 
+def _backed_by_memmap(array: np.ndarray) -> bool:
+    """True if *array* is (a view onto) a ``np.memmap``."""
+    seen: object = array
+    while isinstance(seen, np.ndarray):
+        if isinstance(seen, np.memmap):
+            return True
+        seen = seen.base
+    return False
+
+
 class KPITensor:
     """Hourly KPI tensor ``K`` with missing mask and metadata.
 
@@ -84,9 +94,17 @@ class KPITensor:
         Float array of shape ``(n_sectors, n_hours, n_kpis)``.  Entries
         at positions where *missing* is True are ignored by all
         consumers; their stored value is irrelevant (NaN by convention).
+        May be a (read-only) ``np.memmap`` view, as produced by
+        :func:`repro.data.chunked.open_dataset_mmap` — dtype-matching
+        arrays are wrapped zero-copy, so the tensor never forces the
+        mapped file into RAM.  Memmap-backed tensors are read-only:
+        consumers that modify values must copy first (``filled()``,
+        ``forward_filled()``, and ``select_sectors()`` already do).
     missing:
         Boolean array, same shape as *values*; True marks a missing
-        measurement.  Defaults to the NaN positions of *values*.
+        measurement.  Defaults to the NaN positions of *values* (pass
+        it explicitly for memmap-backed values to avoid materialising
+        the NaN scan).
     kpi_names:
         Names of the ``l`` indicator channels.
     time_axis:
@@ -142,6 +160,16 @@ class KPITensor:
     @property
     def shape(self) -> tuple[int, int, int]:
         return self.values.shape
+
+    @property
+    def nbytes(self) -> int:
+        """In-RAM footprint of values + mask if fully materialised."""
+        return int(self.values.nbytes) + int(self.missing.nbytes)
+
+    @property
+    def is_memory_mapped(self) -> bool:
+        """True when either array is a view onto an ``np.memmap`` file."""
+        return _backed_by_memmap(self.values) or _backed_by_memmap(self.missing)
 
     def __repr__(self) -> str:
         return (

@@ -21,16 +21,26 @@ Entry point: :class:`repro.synth.generator.TelemetryGenerator`.
 """
 
 from repro.synth.calendar_info import CalendarConfig, build_calendar, default_holidays
-from repro.synth.config import EventConfig, GeneratorConfig, MissingnessConfig
+from repro.synth.config import (
+    SIZE_TIERS,
+    EventConfig,
+    GeneratorConfig,
+    MissingnessConfig,
+    SizeTier,
+    tier_config,
+)
 from repro.synth.drift import drift_shifted_dataset, intensified_events
-from repro.synth.generator import TelemetryGenerator, generate_dataset
+from repro.synth.events import EventPlan, plan_events
+from repro.synth.generator import TelemetryGenerator, WorldChunk, generate_dataset
 from repro.synth.geography import LAND_USE_NAMES, LandUse, NetworkGeographyBuilder
 from repro.synth.kpis import KPI_CLASSES, KPI_NAMES, KPICatalog
+from repro.synth.missing import MissingnessPlan, plan_missingness
 from repro.synth.profiles import LoadProfileLibrary
 
 __all__ = [
     "CalendarConfig",
     "EventConfig",
+    "EventPlan",
     "GeneratorConfig",
     "KPICatalog",
     "KPI_CLASSES",
@@ -39,11 +49,18 @@ __all__ = [
     "LandUse",
     "LoadProfileLibrary",
     "MissingnessConfig",
+    "MissingnessPlan",
     "NetworkGeographyBuilder",
+    "SIZE_TIERS",
+    "SizeTier",
     "TelemetryGenerator",
+    "WorldChunk",
     "build_calendar",
     "default_holidays",
     "drift_shifted_dataset",
     "generate_dataset",
     "intensified_events",
+    "plan_events",
+    "plan_missingness",
+    "tier_config",
 ]

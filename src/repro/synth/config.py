@@ -4,7 +4,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["EventConfig", "MissingnessConfig", "GeneratorConfig"]
+__all__ = [
+    "EventConfig",
+    "MissingnessConfig",
+    "GeneratorConfig",
+    "SizeTier",
+    "SIZE_TIERS",
+    "tier_config",
+]
 
 
 @dataclass(frozen=True)
@@ -169,3 +176,96 @@ class GeneratorConfig:
     @property
     def n_days(self) -> int:
         return self.n_weeks * 7
+
+
+@dataclass(frozen=True)
+class SizeTier:
+    """A named world size for benchmarks and at-scale testing.
+
+    Tiers fix the full generator configuration (towers, weeks, seed) so
+    a tier name identifies one exact world: generating a tier twice —
+    in the same process, across processes, or chunked differently —
+    yields bitwise-identical telemetry and therefore the same chunked
+    store content hash.
+
+    Attributes
+    ----------
+    name:
+        Tier identifier (``small`` / ``paper`` / ``national``).
+    n_towers, n_weeks, seed:
+        The :class:`GeneratorConfig` overrides that define the world.
+    chunk_weeks:
+        Default chunk size (in weeks) when the tier is written as a
+        chunked store.
+    description:
+        One-line summary for docs and CLI help.
+    """
+
+    name: str
+    n_towers: int
+    n_weeks: int
+    seed: int
+    chunk_weeks: int = 1
+    description: str = ""
+
+    @property
+    def n_sectors(self) -> int:
+        return self.n_towers * 3
+
+    @property
+    def n_hours(self) -> int:
+        return self.n_weeks * 168
+
+    def config(self) -> "GeneratorConfig":
+        """The generator configuration this tier pins down."""
+        return GeneratorConfig(
+            n_towers=self.n_towers, n_weeks=self.n_weeks, seed=self.seed
+        )
+
+
+SIZE_TIERS: dict[str, SizeTier] = {
+    tier.name: tier
+    for tier in (
+        SizeTier(
+            name="small",
+            n_towers=30,
+            n_weeks=4,
+            seed=1001,
+            description="90 sectors x 4 weeks — CI-sized smoke world (~11 MB in RAM)",
+        ),
+        SizeTier(
+            name="paper",
+            n_towers=3400,
+            n_weeks=18,
+            seed=2017,
+            description=(
+                "10,200 sectors x 18 weeks — the paper's deployment regime "
+                "(~5.8 GB in RAM; generate chunked)"
+            ),
+        ),
+        SizeTier(
+            name="national",
+            n_towers=16000,
+            n_weeks=18,
+            seed=3001,
+            description=(
+                "48,000 sectors x 18 weeks — national-network scale "
+                "(~27 GB in RAM; chunked storage only)"
+            ),
+        ),
+    )
+}
+
+
+def tier_config(name: str) -> GeneratorConfig:
+    """Generator configuration for a named size tier.
+
+    Raises ``KeyError`` with the known tier names when *name* is not a
+    tier.
+    """
+    try:
+        return SIZE_TIERS[name].config()
+    except KeyError:
+        raise KeyError(
+            f"unknown size tier {name!r}; known tiers: {sorted(SIZE_TIERS)}"
+        ) from None

@@ -27,10 +27,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.data.tensor import HOURS_PER_DAY
+from repro.data.tensor import HOURS_PER_DAY, HOURS_PER_WEEK
 from repro.synth.config import EventConfig
 
-__all__ = ["EventIntensities", "EventSimulator"]
+__all__ = ["EventIntensities", "EventSimulator", "EventPlan", "plan_events"]
 
 
 @dataclass(frozen=True)
@@ -234,3 +234,266 @@ class EventSimulator:
                     precursor[sector, lo : lo + HOURS_PER_DAY], fraction * severity
                 )
         return degradation, precursor, onset_days
+
+
+# ===================================================================== #
+# Streaming event plan                                                  #
+# ===================================================================== #
+#
+# The batch EventSimulator above materialises hour-granular intensity
+# matrices for the whole horizon — O(n_sectors * n_hours) per process,
+# which is exactly what the out-of-core generator must avoid.  The
+# streaming path splits event simulation into two phases:
+#
+# 1. plan_events() draws every event *once*, from per-week child
+#    streams, and stores them at their natural granularity: sparse
+#    event lists for failures/storms/interference, day-granular
+#    (n_sectors, n_days) grids for onsets (whose precursor ramps extend
+#    *backward* from each onset, and whose degraded periods cross week
+#    boundaries — both need the whole horizon before any hour is
+#    rendered, but only at day resolution, which is 24x smaller).
+# 2. EventPlan.render() expands any day-aligned hour window to the
+#    hourly EventIntensities the KPI catalog consumes.
+#
+# Every random stream is keyed per week (np.random.default_rng([seed,
+# tag, week])), so the generated world is a pure function of the events
+# child seed — independent of chunk size, process, or platform.
+
+_FAILURE_STREAM = 0
+_STORM_STREAM = 1
+_INTERFERENCE_STREAM = 2
+_ONSET_STREAM = 3
+
+
+def _week_stream(seed: int, tag: int, week: int) -> np.random.Generator:
+    """Deterministic per-(component, week) child generator."""
+    return np.random.default_rng([int(seed), int(tag), int(week)])
+
+
+@dataclass(frozen=True)
+class EventPlan:
+    """Whole-horizon event plan at day/event granularity.
+
+    Sparse event lists hold ``(where, start_hour, end_hour, magnitude)``
+    columns; the day grids hold the onset machinery.  Memory is
+    O(events + n_sectors * n_days), not O(n_sectors * n_hours).
+    """
+
+    tower_ids: np.ndarray
+    n_hours: int
+    # failures: per-tower hour spans with severity (max-combined on render)
+    failure_tower: np.ndarray
+    failure_lo: np.ndarray
+    failure_hi: np.ndarray
+    failure_severity: np.ndarray
+    # storms: one per (sector, day) with bump parameters (additive)
+    storm_sector: np.ndarray
+    storm_day: np.ndarray
+    storm_centre: np.ndarray
+    storm_width: np.ndarray
+    storm_gain: np.ndarray
+    # interference: per-sector hour spans with level (max-combined)
+    interference_sector: np.ndarray
+    interference_lo: np.ndarray
+    interference_hi: np.ndarray
+    interference_level: np.ndarray
+    # onsets: day-granular grids (values are day-constant in the batch
+    # simulator too, so rendering repeats them 24x without loss)
+    degradation_day: np.ndarray
+    precursor_day: np.ndarray
+    onset_days: np.ndarray
+
+    def render(self, lo_hour: int, hi_hour: int) -> EventIntensities:
+        """Hourly intensities for the day-aligned window ``[lo_hour, hi_hour)``."""
+        if lo_hour % HOURS_PER_DAY or hi_hour % HOURS_PER_DAY:
+            raise ValueError(
+                f"window [{lo_hour}, {hi_hour}) must be day-aligned"
+            )
+        if not 0 <= lo_hour < hi_hour <= self.n_hours:
+            raise ValueError(
+                f"window [{lo_hour}, {hi_hour}) outside [0, {self.n_hours})"
+            )
+        n_sectors = self.tower_ids.size
+        n_towers = int(self.tower_ids.max()) + 1 if n_sectors else 0
+        n_hours = hi_hour - lo_hour
+        d0, d1 = lo_hour // HOURS_PER_DAY, hi_hour // HOURS_PER_DAY
+
+        tower_failure = np.zeros((n_towers, n_hours), dtype=np.float64)
+        live = (self.failure_lo < hi_hour) & (self.failure_hi > lo_hour)
+        for tower, lo, hi, severity in zip(
+            self.failure_tower[live],
+            np.maximum(self.failure_lo[live], lo_hour) - lo_hour,
+            np.minimum(self.failure_hi[live], hi_hour) - lo_hour,
+            self.failure_severity[live],
+        ):
+            tower_failure[tower, lo:hi] = np.maximum(tower_failure[tower, lo:hi], severity)
+        failure = tower_failure[self.tower_ids]
+
+        surge = np.zeros((n_sectors, n_hours), dtype=np.float64)
+        hours = np.arange(HOURS_PER_DAY, dtype=np.float64)
+        live = (self.storm_day >= d0) & (self.storm_day < d1)
+        for sector, day, centre, width, gain in zip(
+            self.storm_sector[live],
+            self.storm_day[live],
+            self.storm_centre[live],
+            self.storm_width[live],
+            self.storm_gain[live],
+        ):
+            bump = gain * np.exp(-0.5 * ((hours - centre) / width) ** 2)
+            lo = (day - d0) * HOURS_PER_DAY
+            surge[sector, lo : lo + HOURS_PER_DAY] += bump
+
+        interference = np.zeros((n_sectors, n_hours), dtype=np.float64)
+        live = (self.interference_lo < hi_hour) & (self.interference_hi > lo_hour)
+        for sector, lo, hi, level in zip(
+            self.interference_sector[live],
+            np.maximum(self.interference_lo[live], lo_hour) - lo_hour,
+            np.minimum(self.interference_hi[live], hi_hour) - lo_hour,
+            self.interference_level[live],
+        ):
+            interference[sector, lo:hi] = np.maximum(interference[sector, lo:hi], level)
+
+        degradation = np.repeat(self.degradation_day[:, d0:d1], HOURS_PER_DAY, axis=1)
+        precursor = np.repeat(self.precursor_day[:, d0:d1], HOURS_PER_DAY, axis=1)
+        return EventIntensities(
+            failure=failure,
+            surge=surge,
+            interference=interference,
+            degradation=degradation,
+            precursor=precursor,
+            onset_days=self.onset_days[:, d0:d1],
+        )
+
+
+def plan_events(
+    config: EventConfig,
+    seed: int,
+    tower_ids: np.ndarray,
+    n_hours: int,
+    onset_weights: np.ndarray | None = None,
+) -> EventPlan:
+    """Draw every event process once, from per-week child streams.
+
+    Mirrors the processes of :class:`EventSimulator` (same rates, same
+    magnitude distributions) but keys each week's draws to
+    ``default_rng([seed, stream, week])`` so the plan — and hence the
+    streamed world — is identical however the horizon is later chunked.
+    """
+    if n_hours % HOURS_PER_DAY != 0:
+        raise ValueError(f"n_hours must be a multiple of 24, got {n_hours}")
+    tower_ids = np.asarray(tower_ids, dtype=np.int64)
+    n_sectors = tower_ids.size
+    n_towers = int(tower_ids.max()) + 1 if n_sectors else 0
+    n_days = n_hours // HOURS_PER_DAY
+    n_weeks = -(-n_hours // HOURS_PER_WEEK)
+    if onset_weights is not None:
+        onset_weights = np.asarray(onset_weights, dtype=np.float64)
+        if onset_weights.shape != (n_sectors,):
+            raise ValueError(
+                f"onset_weights must be ({n_sectors},), got {onset_weights.shape}"
+            )
+
+    failure_events: list[tuple[int, int, int, float]] = []
+    storm_events: list[tuple[int, int, float, float, float]] = []
+    interference_events: list[tuple[int, int, int, float]] = []
+    degradation_day = np.zeros((n_sectors, n_days), dtype=np.float64)
+    precursor_day = np.zeros((n_sectors, n_days), dtype=np.float64)
+    onset_days = np.zeros((n_sectors, n_days), dtype=bool)
+
+    hourly_start_prob = config.failure_rate_per_tower_day / HOURS_PER_DAY
+    failure_duration_p = 1.0 / max(config.failure_duration_mean_hours, 1.0)
+    interference_duration_p = 1.0 / max(config.interference_duration_mean_days, 1.0)
+    daily_onset_rate = config.onset_rate_per_sector / max(n_days, 1)
+    per_sector_rate = np.full(n_sectors, daily_onset_rate)
+    if onset_weights is not None:
+        per_sector_rate = daily_onset_rate * np.clip(onset_weights, 0.1, 4.0)
+    hold_p = 1.0 / max(config.onset_hold_days_mean, 1.0)
+    ramp_days = max(int(config.onset_ramp_days), 1)
+
+    for week in range(n_weeks):
+        week_lo = week * HOURS_PER_WEEK
+        week_hours = min(HOURS_PER_WEEK, n_hours - week_lo)
+        week_days = week_hours // HOURS_PER_DAY
+        day0 = week_lo // HOURS_PER_DAY
+
+        rng = _week_stream(seed, _FAILURE_STREAM, week)
+        starts = rng.random((n_towers, week_hours)) < hourly_start_prob
+        for tower, hour in zip(*np.nonzero(starts)):
+            duration = int(rng.geometric(failure_duration_p))
+            severity = float(rng.uniform(0.7, 1.3))
+            lo = week_lo + int(hour)
+            failure_events.append((int(tower), lo, min(lo + duration, n_hours), severity))
+
+        rng = _week_stream(seed, _STORM_STREAM, week)
+        storm_days = rng.random((n_sectors, week_days)) < config.congestion_storm_rate_per_day
+        for sector, day in zip(*np.nonzero(storm_days)):
+            centre = float(rng.uniform(12.0, 20.0))
+            width = float(rng.uniform(2.0, 4.0))
+            gain = (config.storm_gain - 1.0) * float(rng.uniform(0.6, 1.4))
+            storm_events.append((int(sector), day0 + int(day), centre, width, gain))
+
+        rng = _week_stream(seed, _INTERFERENCE_STREAM, week)
+        starts = rng.random((n_sectors, week_days)) < config.interference_rate_per_day
+        for sector, day in zip(*np.nonzero(starts)):
+            duration_days = int(rng.geometric(interference_duration_p))
+            level = float(rng.uniform(0.5, 1.2))
+            lo = (day0 + int(day)) * HOURS_PER_DAY
+            hi = min((day0 + int(day) + duration_days) * HOURS_PER_DAY, n_hours)
+            interference_events.append((int(sector), lo, hi, level))
+
+        rng = _week_stream(seed, _ONSET_STREAM, week)
+        candidate = rng.random((n_sectors, week_days)) < per_sector_rate[:, None]
+        for sector, day in zip(*np.nonzero(candidate)):
+            day = day0 + int(day)
+            # Same clean-transition rule as the batch simulator: skip
+            # onsets that would start inside an existing degraded period.
+            if day > 0 and degradation_day[sector, day - 1] > 0:
+                continue
+            hold_days = max(int(rng.geometric(hold_p)), 3)
+            severity = float(rng.uniform(0.9, 1.2))
+            degradation_day[sector, day : day + hold_days] = severity
+            onset_days[sector, day] = True
+            ramp_lo_day = max(day - ramp_days, 0)
+            for lead, ramp_day in enumerate(range(ramp_lo_day, day)):
+                fraction = (lead + 1 + (day - ramp_days - ramp_lo_day)) / ramp_days
+                fraction = float(np.clip(fraction, 0.0, 1.0))
+                precursor_day[sector, ramp_day] = max(
+                    precursor_day[sector, ramp_day], fraction * severity
+                )
+
+    def _columns(events: list, dtypes: tuple) -> tuple[np.ndarray, ...]:
+        if events:
+            columns = tuple(np.asarray(col) for col in zip(*events))
+        else:
+            columns = tuple(np.empty(0) for _ in dtypes)
+        return tuple(col.astype(dt) for col, dt in zip(columns, dtypes))
+
+    f_tower, f_lo, f_hi, f_sev = _columns(
+        failure_events, (np.int64, np.int64, np.int64, np.float64)
+    )
+    s_sector, s_day, s_centre, s_width, s_gain = _columns(
+        storm_events, (np.int64, np.int64, np.float64, np.float64, np.float64)
+    )
+    i_sector, i_lo, i_hi, i_level = _columns(
+        interference_events, (np.int64, np.int64, np.int64, np.float64)
+    )
+    return EventPlan(
+        tower_ids=tower_ids,
+        n_hours=n_hours,
+        failure_tower=f_tower,
+        failure_lo=f_lo,
+        failure_hi=f_hi,
+        failure_severity=f_sev,
+        storm_sector=s_sector,
+        storm_day=s_day,
+        storm_centre=s_centre,
+        storm_width=s_width,
+        storm_gain=s_gain,
+        interference_sector=i_sector,
+        interference_lo=i_lo,
+        interference_hi=i_hi,
+        interference_level=i_level,
+        degradation_day=degradation_day,
+        precursor_day=precursor_day,
+        onset_days=onset_days,
+    )

@@ -9,19 +9,65 @@ in their own scoring configuration.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
 import numpy as np
 
+from repro.data.chunked import ChunkedDatasetWriter
 from repro.data.dataset import Dataset, SectorGeography
-from repro.data.tensor import KPITensor, TimeAxis
+from repro.data.tensor import HOURS_PER_WEEK, KPITensor, TimeAxis
 from repro.synth.calendar_info import CalendarConfig, build_calendar
 from repro.synth.config import GeneratorConfig
-from repro.synth.events import EventIntensities, EventSimulator
+from repro.synth.events import EventIntensities, EventPlan, EventSimulator, plan_events
 from repro.synth.geography import NetworkGeographyBuilder
 from repro.synth.kpis import KPI_NAMES, KPICatalog, LatentState
-from repro.synth.missing import inject_missingness
+from repro.synth.missing import MissingnessPlan, inject_missingness, plan_missingness
 from repro.synth.profiles import LoadProfileLibrary
 
-__all__ = ["TelemetryGenerator", "generate_dataset"]
+__all__ = ["TelemetryGenerator", "WorldChunk", "generate_dataset"]
+
+# Per-week child-stream tags of the streaming path (the load and KPI
+# components each own a child seed; tags separate their sub-streams).
+_LOAD_STATIC_STREAM = 0
+_LOAD_NOISE_STREAM = 1
+_KPI_NOISE_STREAM = 0
+
+
+@dataclass(frozen=True)
+class WorldChunk:
+    """One streamed slab of a synthetic world.
+
+    ``values``/``missing`` are sector-major ``(n_sectors, chunk_hours,
+    n_kpis)``; values at missing positions are already NaN.
+    """
+
+    first_hour: int
+    values: np.ndarray
+    missing: np.ndarray
+
+
+@dataclass(frozen=True)
+class _StreamPlan:
+    """Everything the streaming render phase needs, at O(sectors * days).
+
+    ``class_profiles`` is ``(n_land_use_classes, n_hours)`` — the shared
+    hourly shape per land-use class; ``class_index`` maps each sector to
+    its row.  ``base``/``drift`` are the static per-sector load factors;
+    the event and missingness plans carry the cross-week structure.
+    """
+
+    geography: SectorGeography
+    time_axis: TimeAxis
+    calendar: np.ndarray
+    class_profiles: np.ndarray
+    class_index: np.ndarray
+    base: np.ndarray
+    drift: np.ndarray
+    seed_load: int
+    events: "EventPlan"
+    missingness: "MissingnessPlan"
 
 
 class TelemetryGenerator:
@@ -61,12 +107,7 @@ class TelemetryGenerator:
             for the imputation benchmarks, which inject their own).
         """
         config = self.config
-        root = np.random.default_rng(config.seed)
-        # Independent child generators: each component's draws stay
-        # stable when another component's are modified.
-        rng_geo, rng_events, rng_load, rng_kpi, rng_missing = (
-            np.random.default_rng(seed) for seed in root.integers(0, 2**63, size=5)
-        )
+        rng_geo, rng_events, rng_load, rng_kpi, rng_missing = self._child_rngs()
 
         geography = NetworkGeographyBuilder(config, rng_geo).build()
         time_axis = TimeAxis(n_hours=config.n_hours, start_weekday=0, start_hour=0)
@@ -102,18 +143,37 @@ class TelemetryGenerator:
         )
         return Dataset(kpis=tensor, geography=geography, calendar=calendar)
 
+    def _child_seeds(self) -> np.ndarray:
+        """The five component seeds derived from the config seed.
+
+        Order: geography, events, load, KPI noise, missingness.  This is
+        the *single* derivation point for both :meth:`generate` and
+        :meth:`latent_events` (and the seeds the streaming path keys its
+        per-week child streams on) — keeping ground-truth event replays
+        bitwise in sync with the generated dataset.
+        """
+        root = np.random.default_rng(self.config.seed)
+        return root.integers(0, 2**63, size=5)
+
+    def _child_rngs(self) -> tuple[np.random.Generator, ...]:
+        """Independent per-component generators from :meth:`_child_seeds`.
+
+        Each component's draws stay stable when another component's are
+        modified.
+        """
+        return tuple(np.random.default_rng(seed) for seed in self._child_seeds())
+
     def latent_events(self) -> EventIntensities:
         """Re-simulate and return the latent event intensities.
 
         Deterministic for a given config seed; used by tests and by
-        benches that need ground-truth onsets.
+        benches that need ground-truth onsets.  Uses the same
+        :meth:`_child_rngs` derivation as :meth:`generate`, so the
+        returned events are exactly those embedded in the generated
+        dataset.
         """
         config = self.config
-        root = np.random.default_rng(config.seed)
-        seeds = root.integers(0, 2**63, size=5)
-        rng_geo = np.random.default_rng(seeds[0])
-        rng_events = np.random.default_rng(seeds[1])
-        rng_load = np.random.default_rng(seeds[2])
+        rng_geo, rng_events, rng_load, _, _ = self._child_rngs()
         geography = NetworkGeographyBuilder(config, rng_geo).build()
         time_axis = TimeAxis(n_hours=config.n_hours, start_weekday=0, start_hour=0)
         calendar = build_calendar(time_axis, self.calendar_config)
@@ -122,6 +182,227 @@ class TelemetryGenerator:
             geography.tower_ids, config.n_hours,
             onset_weights=self._onset_weights(base),
         )
+
+    # ------------------------------------------------------------------
+    # Streaming path: paper-scale worlds, one chunk at a time.
+    #
+    # generate() materialises O(n_sectors * n_hours) for every latent
+    # component at once — fine for laptop worlds, impossible for the
+    # paper's regime (10k+ sectors x 18 weeks).  The streaming path
+    # splits generation into a *plan* phase (geography, calendar, base
+    # loads, and the day/event-granular event + missingness plans —
+    # everything that crosses week boundaries, at O(n_sectors * n_days))
+    # and a *render* phase that emits hourly week-chunks.  Every random
+    # stream is keyed per (component seed, tag, week), so the world is a
+    # pure function of the config seed, bitwise-independent of
+    # chunk_weeks, process, and platform.  It is a different (equally
+    # valid) realization than generate() produces for the same seed —
+    # the batch path draws its streams in a different order and is kept
+    # unchanged so existing seeds and benchmarks stay stable.
+    # ------------------------------------------------------------------
+
+    def stream(
+        self, chunk_weeks: int = 1, with_missing: bool = True
+    ) -> Iterator[WorldChunk]:
+        """Yield the world as consecutive ``chunk_weeks``-week slabs.
+
+        Peak memory is O(one chunk) plus the day-granular plans; the
+        emitted telemetry is identical for every ``chunk_weeks``.
+        """
+        if chunk_weeks <= 0:
+            raise ValueError(f"chunk_weeks must be positive, got {chunk_weeks}")
+        config = self.config
+        plan = self._plan_stream()
+        n_kpis = len(KPI_NAMES)
+        seed_kpi = int(self._child_seeds()[3])
+
+        for first_week in range(0, config.n_weeks, chunk_weeks):
+            weeks = range(first_week, min(first_week + chunk_weeks, config.n_weeks))
+            parts_values = []
+            parts_missing = []
+            for week in weeks:
+                lo = week * HOURS_PER_WEEK
+                hi = lo + HOURS_PER_WEEK
+                load = self._render_load_week(plan, week)
+                events = plan.events.render(lo, hi)
+                state = LatentState(
+                    load=load,
+                    failure=events.failure,
+                    surge=events.surge,
+                    interference=events.interference,
+                    degradation=events.degradation,
+                    precursor=events.precursor,
+                )
+                rng_kpi = np.random.default_rng([seed_kpi, _KPI_NOISE_STREAM, week])
+                values = KPICatalog(rng_kpi).observe(state)
+                if with_missing:
+                    missing = plan.missingness.render(lo, hi, n_kpis)
+                    values[missing] = np.nan
+                else:
+                    missing = np.zeros(values.shape, dtype=bool)
+                parts_values.append(values)
+                parts_missing.append(missing)
+            yield WorldChunk(
+                first_hour=weeks[0] * HOURS_PER_WEEK,
+                values=(
+                    parts_values[0]
+                    if len(parts_values) == 1
+                    else np.concatenate(parts_values, axis=1)
+                ),
+                missing=(
+                    parts_missing[0]
+                    if len(parts_missing) == 1
+                    else np.concatenate(parts_missing, axis=1)
+                ),
+            )
+
+    def generate_streamed(
+        self, with_missing: bool = True, chunk_weeks: int = 1
+    ) -> Dataset:
+        """Assemble the streamed world into an in-RAM :class:`Dataset`.
+
+        Bitwise-equal to writing the stream chunked and re-opening it;
+        used by tests and by small tiers.  For paper-scale worlds use
+        :meth:`generate_chunked` instead.
+        """
+        plan = self._plan_stream()
+        chunks = list(self.stream(chunk_weeks=chunk_weeks, with_missing=with_missing))
+        values = np.concatenate([chunk.values for chunk in chunks], axis=1)
+        missing = np.concatenate([chunk.missing for chunk in chunks], axis=1)
+        tensor = KPITensor(
+            values=values,
+            missing=missing,
+            kpi_names=list(KPI_NAMES),
+            time_axis=plan.time_axis,
+        )
+        return Dataset(kpis=tensor, geography=plan.geography, calendar=plan.calendar)
+
+    def generate_chunked(
+        self,
+        root: str | Path,
+        chunk_weeks: int = 1,
+        with_missing: bool = True,
+        generator_meta: dict | None = None,
+    ) -> tuple[Path, dict]:
+        """Stream the world straight into a chunked store at *root*.
+
+        Never holds more than one chunk of telemetry in RAM.  Returns
+        ``(root, manifest)``; the manifest's ``content_hash`` is the
+        deterministic identity of the world (same for any
+        *chunk_weeks*).
+        """
+        config = self.config
+        plan = self._plan_stream()
+        meta = {
+            "seed": config.seed,
+            "n_towers": config.n_towers,
+            "n_weeks": config.n_weeks,
+            "sectors_per_tower": config.sectors_per_tower,
+            "with_missing": bool(with_missing),
+        }
+        if generator_meta:
+            meta.update(generator_meta)
+        writer = ChunkedDatasetWriter(
+            root,
+            n_sectors=config.n_sectors,
+            n_hours=config.n_hours,
+            kpi_names=list(KPI_NAMES),
+            geography=plan.geography,
+            calendar=plan.calendar,
+            start_weekday=plan.time_axis.start_weekday,
+            start_hour=plan.time_axis.start_hour,
+            chunk_hours=chunk_weeks * HOURS_PER_WEEK,
+            generator_meta=meta,
+        )
+        for chunk in self.stream(chunk_weeks=chunk_weeks, with_missing=with_missing):
+            writer.append(chunk.values, chunk.missing)
+        manifest = writer.finalize()
+        return Path(root), manifest
+
+    def _plan_stream(self) -> "_StreamPlan":
+        """Plan phase: everything that must exist before any chunk renders."""
+        config = self.config
+        seeds = self._child_seeds()
+        seed_geo, seed_events, seed_load = (int(s) for s in seeds[:3])
+        seed_missing = int(seeds[4])
+
+        # Geography reuses the batch child stream directly (it is small
+        # and drawn in one shot), so streamed worlds share generate()'s
+        # geography for the same seed.
+        geography = NetworkGeographyBuilder(
+            config, np.random.default_rng(seed_geo)
+        ).build()
+        time_axis = TimeAxis(n_hours=config.n_hours, start_weekday=0, start_hour=0)
+        calendar = build_calendar(time_axis, self.calendar_config)
+
+        hour_of_day = calendar[:, 0].astype(np.int64)
+        day_of_week = calendar[:, 1].astype(np.int64)
+        holiday = calendar[:, 4].astype(bool)
+        classes = np.unique(geography.land_use)
+        class_profiles = np.stack(
+            [
+                self._profiles.hourly_load(land_use, hour_of_day, day_of_week, holiday)
+                for land_use in classes
+            ]
+        )
+        class_index = np.searchsorted(classes, geography.land_use)
+
+        # Static load draws (same formulas as _simulate_load, from the
+        # load component's static child stream).
+        rng = np.random.default_rng([seed_load, _LOAD_STATIC_STREAM])
+        n_sectors = geography.n_sectors
+        tower_base = rng.lognormal(mean=0.0, sigma=0.30, size=config.n_towers)
+        sector_factor = rng.lognormal(mean=0.0, sigma=0.12, size=n_sectors)
+        base = 0.62 * np.repeat(tower_base, config.sectors_per_tower) * sector_factor
+        n_chronic_towers = int(round(config.chronic_hot_fraction * config.n_towers))
+        if n_chronic_towers > 0:
+            chronic_towers = rng.choice(
+                config.n_towers, size=n_chronic_towers, replace=False
+            )
+            chronic = np.isin(geography.tower_ids, chronic_towers)
+            base[chronic] = rng.uniform(1.4, 2.0, size=int(chronic.sum()))
+        weekly_drift = rng.normal(
+            loc=0.0, scale=0.04, size=(n_sectors, config.n_weeks)
+        )
+        drift = np.exp(np.cumsum(weekly_drift, axis=1))
+
+        events = plan_events(
+            config.events,
+            seed_events,
+            geography.tower_ids,
+            config.n_hours,
+            onset_weights=self._onset_weights(base),
+        )
+        missingness = plan_missingness(
+            config.missingness, seed_missing, n_sectors, config.n_hours
+        )
+        return _StreamPlan(
+            geography=geography,
+            time_axis=time_axis,
+            calendar=calendar,
+            class_profiles=class_profiles,
+            class_index=class_index,
+            base=base,
+            drift=drift,
+            seed_load=seed_load,
+            events=events,
+            missingness=missingness,
+        )
+
+    def _render_load_week(self, plan: "_StreamPlan", week: int) -> np.ndarray:
+        """Hourly latent load for one week from the plan + weekly noise."""
+        lo = week * HOURS_PER_WEEK
+        hi = lo + HOURS_PER_WEEK
+        profiles = plan.class_profiles[:, lo:hi][plan.class_index]
+        rng = np.random.default_rng([plan.seed_load, _LOAD_NOISE_STREAM, week])
+        noise = rng.normal(loc=1.0, scale=0.06, size=profiles.shape)
+        load = (
+            plan.base[:, None]
+            * profiles
+            * plan.drift[:, week][:, None]
+            * np.clip(noise, 0.5, 1.5)
+        )
+        return np.clip(load, 0.0, None)
 
     @staticmethod
     def _onset_weights(base: np.ndarray) -> np.ndarray:

@@ -15,12 +15,14 @@ paper discards ~10 % of sectors this way.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.data.tensor import HOURS_PER_WEEK
 from repro.synth.config import MissingnessConfig
 
-__all__ = ["inject_missingness"]
+__all__ = ["inject_missingness", "MissingnessPlan", "plan_missingness"]
 
 
 def inject_missingness(
@@ -75,3 +77,147 @@ def inject_missingness(
             week_hours = rng.random(hi - lo) < 0.7
             mask[sector, lo:hi, :] |= week_hours[:, None]
     return mask
+
+
+# ===================================================================== #
+# Streaming missingness plan                                            #
+# ===================================================================== #
+#
+# The streaming generator cannot draw one dense mask for the whole
+# horizon.  The structural (cross-week) shapes — multi-hour blocks and
+# dead-sector spans — are planned up front as sparse hour spans, while
+# the dense point/hour-slice masks are drawn per week from their own
+# child streams.  All streams are keyed (seed, tag, week), so the mask
+# is a pure function of the missingness child seed, independent of how
+# the horizon is later chunked.
+
+_POINT_STREAM = 0
+_HOUR_SLICE_STREAM = 1
+_BLOCK_STREAM = 2
+_DEAD_STREAM = 3
+
+
+@dataclass(frozen=True)
+class MissingnessPlan:
+    """Whole-horizon plan of the structural missingness shapes.
+
+    ``block_*`` columns hold multi-hour collection outages as
+    ``[lo_hour, hi_hour)`` spans per sector; ``dead_sector`` /
+    ``dead_hour`` hold the individual missing hours of the dead-sector
+    weeks (sparse — ~70 % of the affected weeks' hours).
+    """
+
+    config: MissingnessConfig
+    seed: int
+    n_sectors: int
+    n_hours: int
+    block_sector: np.ndarray
+    block_lo: np.ndarray
+    block_hi: np.ndarray
+    dead_sector: np.ndarray
+    dead_hour: np.ndarray
+
+    def render(self, lo_hour: int, hi_hour: int, n_kpis: int) -> np.ndarray:
+        """Dense boolean mask for the week-aligned window ``[lo_hour, hi_hour)``.
+
+        The window must start on a week boundary and span whole weeks
+        (except the final, possibly short, week) because the dense
+        point/hour-slice draws are keyed per week.
+        """
+        if lo_hour % HOURS_PER_WEEK:
+            raise ValueError(f"window start {lo_hour} must be week-aligned")
+        if not 0 <= lo_hour < hi_hour <= self.n_hours:
+            raise ValueError(
+                f"window [{lo_hour}, {hi_hour}) outside [0, {self.n_hours})"
+            )
+        config = self.config
+        n_hours = hi_hour - lo_hour
+        mask = np.zeros((self.n_sectors, n_hours, n_kpis), dtype=bool)
+
+        for week_lo in range(lo_hour, hi_hour, HOURS_PER_WEEK):
+            week = week_lo // HOURS_PER_WEEK
+            week_hours = min(HOURS_PER_WEEK, hi_hour - week_lo)
+            sl = slice(week_lo - lo_hour, week_lo - lo_hour + week_hours)
+            rng = np.random.default_rng([self.seed, _POINT_STREAM, week])
+            mask[:, sl, :] |= (
+                rng.random((self.n_sectors, week_hours, n_kpis)) < config.point_rate
+            )
+            rng = np.random.default_rng([self.seed, _HOUR_SLICE_STREAM, week])
+            hour_slices = rng.random((self.n_sectors, week_hours)) < config.hour_slice_rate
+            mask[:, sl, :] |= hour_slices[:, :, None]
+
+        live = (self.block_lo < hi_hour) & (self.block_hi > lo_hour)
+        for sector, lo, hi in zip(
+            self.block_sector[live],
+            np.maximum(self.block_lo[live], lo_hour) - lo_hour,
+            np.minimum(self.block_hi[live], hi_hour) - lo_hour,
+        ):
+            mask[sector, lo:hi, :] = True
+
+        live = (self.dead_hour >= lo_hour) & (self.dead_hour < hi_hour)
+        mask[self.dead_sector[live], self.dead_hour[live] - lo_hour, :] = True
+        return mask
+
+
+def plan_missingness(
+    config: MissingnessConfig,
+    seed: int,
+    n_sectors: int,
+    n_hours: int,
+) -> MissingnessPlan:
+    """Plan the structural missingness shapes for the whole horizon.
+
+    Mirrors the block and dead-sector processes of
+    :func:`inject_missingness` (same rates and duration distributions),
+    drawn from per-week / static child streams of *seed*.
+    """
+    n_weeks = max(n_hours // HOURS_PER_WEEK, 1)
+    expected_blocks = config.block_rate_per_week * n_weeks
+    hourly_block_prob = expected_blocks / n_hours
+    duration_p = 1.0 / max(config.block_duration_mean_hours, 1.0)
+
+    block_events: list[tuple[int, int, int]] = []
+    for week in range(-(-n_hours // HOURS_PER_WEEK)):
+        week_lo = week * HOURS_PER_WEEK
+        week_hours = min(HOURS_PER_WEEK, n_hours - week_lo)
+        rng = np.random.default_rng([seed, _BLOCK_STREAM, week])
+        starts = rng.random((n_sectors, week_hours)) < hourly_block_prob
+        for sector, hour in zip(*np.nonzero(starts)):
+            duration = int(rng.geometric(duration_p))
+            lo = week_lo + int(hour)
+            block_events.append((int(sector), lo, min(lo + duration, n_hours)))
+
+    dead_sectors_hours: list[tuple[int, int]] = []
+    n_dead = int(round(config.dead_sector_fraction * n_sectors))
+    if n_dead > 0 and n_weeks >= 1:
+        rng = np.random.default_rng([seed, _DEAD_STREAM])
+        dead_sectors = rng.choice(n_sectors, size=n_dead, replace=False)
+        for sector in dead_sectors:
+            n_bad_weeks = int(
+                rng.integers(config.dead_sector_min_weeks, max(n_weeks // 2, 2))
+            )
+            start_week = int(rng.integers(0, max(n_weeks - n_bad_weeks, 1)))
+            lo = start_week * HOURS_PER_WEEK
+            hi = min((start_week + n_bad_weeks) * HOURS_PER_WEEK, n_hours)
+            week_hours = rng.random(hi - lo) < 0.7
+            for hour in np.nonzero(week_hours)[0]:
+                dead_sectors_hours.append((int(sector), lo + int(hour)))
+
+    def _columns(events: list, width: int) -> tuple[np.ndarray, ...]:
+        if events:
+            return tuple(np.asarray(col, dtype=np.int64) for col in zip(*events))
+        return tuple(np.empty(0, dtype=np.int64) for _ in range(width))
+
+    block_sector, block_lo, block_hi = _columns(block_events, 3)
+    dead_sector, dead_hour = _columns(dead_sectors_hours, 2)
+    return MissingnessPlan(
+        config=config,
+        seed=int(seed),
+        n_sectors=n_sectors,
+        n_hours=n_hours,
+        block_sector=block_sector,
+        block_lo=block_lo,
+        block_hi=block_hi,
+        dead_sector=dead_sector,
+        dead_hour=dead_hour,
+    )

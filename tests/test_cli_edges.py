@@ -77,6 +77,56 @@ class TestQuietAndErrors:
         assert "no dataset found" in captured.err
         assert "Traceback" not in captured.err
 
+    def test_corrupt_store_exits_with_jsonl_error(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not a zip archive at all")
+        code = cli_main(["analyze", "--data", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "Traceback" not in captured.err
+        # one machine-readable JSONL line, not a stack trace
+        record = json.loads(captured.err.strip().splitlines()[-1])
+        assert record["type"] == "error"
+        assert record["error"] == "corrupt-store"
+        assert "corrupt" in record["message"]
+
+
+class TestGenerateTiers:
+    def test_tier_chunked_generates_directory(self, tmp_path, capsys):
+        out = tmp_path / "world"
+        assert cli_main([
+            "generate", "--tier", "small", "--chunked", "--out", str(out),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "chunked dataset" in captured.out
+        assert (out / "manifest.json").exists()
+
+        from repro.data.chunked import load_manifest
+        from repro.data.store import load_dataset
+
+        manifest = load_manifest(out)
+        assert manifest["generator"]["tier"] == "small"
+        assert manifest["n_sectors"] == 90
+        loaded = load_dataset(out)  # directory dispatch → mmap
+        assert loaded.kpis.is_memory_mapped
+        assert loaded.n_sectors == 90
+
+    def test_tier_overrides_size_flags(self):
+        args = build_parser().parse_args([
+            "generate", "--tier", "paper", "--out", "x",
+        ])
+        assert args.tier == "paper"
+        assert args.chunk_weeks is None
+        assert not args.chunked
+
+    def test_unknown_tier_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "generate", "--tier", "galactic", "--out", "x",
+            ])
+
 
 class TestSweepRangeGuard:
     def test_too_short_dataset_fails_cleanly(self, tmp_path, capsys):

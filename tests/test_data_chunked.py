@@ -1,0 +1,240 @@
+"""Tests for repro.data.chunked — the out-of-core chunked dataset store."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.data.chunked import (
+    MANIFEST_NAME,
+    ChunkedDatasetWriter,
+    dataset_content_hash,
+    iter_dataset_chunks,
+    load_manifest,
+    open_dataset_mmap,
+    save_dataset_chunked,
+    verify_chunked_dataset,
+)
+from repro.data.store import CorruptStoreError, load_dataset
+from repro.data.tensor import HOURS_PER_WEEK
+from repro.synth import (
+    SIZE_TIERS,
+    GeneratorConfig,
+    TelemetryGenerator,
+    tier_config,
+)
+
+CONFIG = GeneratorConfig(n_towers=4, n_weeks=3, seed=77)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A small streamed world (the chunked store's canonical producer)."""
+    return TelemetryGenerator(CONFIG).generate_streamed()
+
+
+@pytest.fixture()
+def store(world, tmp_path):
+    return save_dataset_chunked(world, tmp_path / "world")
+
+
+def _assert_bitwise(a, b):
+    np.testing.assert_array_equal(
+        np.asarray(a.kpis.values), np.asarray(b.kpis.values)
+    )
+    np.testing.assert_array_equal(
+        np.asarray(a.kpis.missing), np.asarray(b.kpis.missing)
+    )
+
+
+class TestRoundTrip:
+    def test_mmap_round_trip_bitwise(self, world, store):
+        loaded = open_dataset_mmap(store)
+        _assert_bitwise(loaded, world)
+        assert loaded.kpis.kpi_names == world.kpis.kpi_names
+        np.testing.assert_array_equal(
+            loaded.geography.land_use, world.geography.land_use
+        )
+        np.testing.assert_array_equal(loaded.calendar, world.calendar)
+
+    def test_load_dataset_dispatches_directories(self, world, store):
+        _assert_bitwise(load_dataset(store), world)
+
+    def test_values_are_memory_mapped(self, world, store):
+        loaded = open_dataset_mmap(store)
+        assert loaded.kpis.is_memory_mapped
+        assert not world.kpis.is_memory_mapped
+        assert loaded.kpis.nbytes == world.kpis.nbytes
+
+    def test_extras_round_trip(self, world, tmp_path):
+        from repro.core.scoring import attach_scores
+        from repro.imputation import ForwardFillImputer
+
+        scored = attach_scores(
+            type(world)(
+                kpis=ForwardFillImputer().fit_transform(world.kpis),
+                geography=world.geography,
+                calendar=world.calendar,
+            )
+        )
+        store = save_dataset_chunked(scored, tmp_path / "scored")
+        loaded = open_dataset_mmap(store)
+        assert loaded.has_scores
+        np.testing.assert_allclose(loaded.score_daily, scored.score_daily)
+        np.testing.assert_array_equal(loaded.labels_daily, scored.labels_daily)
+
+    def test_iter_chunks_concatenates_back(self, world, store):
+        parts = [values for _, values, _ in iter_dataset_chunks(store)]
+        np.testing.assert_array_equal(
+            np.concatenate([np.asarray(p) for p in parts], axis=1),
+            world.kpis.values,
+        )
+
+    def test_generate_chunked_matches_streamed(self, world, tmp_path):
+        root, manifest = TelemetryGenerator(CONFIG).generate_chunked(
+            tmp_path / "direct", chunk_weeks=2
+        )
+        _assert_bitwise(open_dataset_mmap(root), world)
+        assert manifest["content_hash"] == dataset_content_hash(world)
+
+
+class TestContentHash:
+    def test_hash_is_chunking_independent(self, world, tmp_path):
+        h168 = load_manifest(
+            save_dataset_chunked(world, tmp_path / "a", chunk_hours=168)
+        )["content_hash"]
+        h100 = load_manifest(
+            save_dataset_chunked(world, tmp_path / "b", chunk_hours=100)
+        )["content_hash"]
+        assert h168 == h100 == dataset_content_hash(world)
+        assert dataset_content_hash(world, chunk_hours=50) == h168
+
+    def test_hash_sensitive_to_values(self, world, tmp_path):
+        perturbed = TelemetryGenerator(
+            GeneratorConfig(n_towers=4, n_weeks=3, seed=78)
+        ).generate_streamed()
+        assert dataset_content_hash(perturbed) != dataset_content_hash(world)
+
+    def test_hash_deterministic_across_processes(self, tmp_path):
+        code = (
+            "from repro.synth import GeneratorConfig, TelemetryGenerator\n"
+            "from repro.data.chunked import dataset_content_hash\n"
+            "world = TelemetryGenerator(GeneratorConfig(n_towers=4, n_weeks=3,"
+            " seed=77)).generate_streamed()\n"
+            "print(dataset_content_hash(world))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+        )
+        local = dataset_content_hash(TelemetryGenerator(CONFIG).generate_streamed())
+        assert result.stdout.strip() == local
+
+
+class TestVerificationAndCorruption:
+    def test_verify_passes_on_fresh_store(self, store):
+        verify_chunked_dataset(store)
+
+    def test_corrupt_chunk_detected(self, store):
+        chunk = sorted((store / "chunks").glob("values_*.npy"))[0]
+        raw = bytearray(chunk.read_bytes())
+        raw[-1] ^= 0xFF
+        chunk.write_bytes(bytes(raw))
+        with pytest.raises(CorruptStoreError, match="fails its manifest hash"):
+            verify_chunked_dataset(store)
+
+    def test_missing_chunk_file_detected(self, store):
+        sorted((store / "chunks").glob("missing_*.npy"))[0].unlink()
+        with pytest.raises(CorruptStoreError):
+            verify_chunked_dataset(store)
+
+    def test_torn_write_no_manifest_is_not_a_store(self, store):
+        """A crash before the manifest commit leaves no readable store."""
+        (store / MANIFEST_NAME).unlink()
+        with pytest.raises(FileNotFoundError, match="manifest.json"):
+            load_manifest(store)
+        with pytest.raises(FileNotFoundError):
+            open_dataset_mmap(store)
+
+    def test_corrupt_manifest_detected(self, store):
+        (store / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+        with pytest.raises(CorruptStoreError, match="manifest"):
+            load_manifest(store)
+
+    def test_wrong_format_rejected(self, store):
+        manifest = json.loads((store / MANIFEST_NAME).read_text(encoding="utf-8"))
+        manifest["format"] = "something-else"
+        (store / MANIFEST_NAME).write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(CorruptStoreError, match="format"):
+            load_manifest(store)
+
+    def test_writer_crash_leaves_no_tmp_debris(self, world, tmp_path):
+        """Kill-during-save: interrupt the writer mid-append and make sure
+        the target directory holds no committed manifest and no temp files
+        from the atomic-replace protocol."""
+        root = tmp_path / "torn"
+        writer = ChunkedDatasetWriter(
+            root,
+            n_sectors=world.n_sectors,
+            n_hours=world.kpis.n_hours,
+            kpi_names=world.kpis.kpi_names,
+            geography=world.geography,
+            calendar=world.calendar,
+        )
+        writer.append(
+            world.kpis.values[:, :HOURS_PER_WEEK, :],
+            world.kpis.missing[:, :HOURS_PER_WEEK, :],
+        )
+        # crash here: no finalize(), so no manifest — the store does not exist
+        assert not (root / MANIFEST_NAME).exists()
+        assert not list(root.rglob("*.tmp"))
+        with pytest.raises(FileNotFoundError):
+            open_dataset_mmap(root)
+
+
+class TestMmapCache:
+    def test_cache_reused_across_opens(self, store):
+        open_dataset_mmap(store)
+        meta = store / "mmap" / "meta.json"
+        stamp = meta.stat().st_mtime_ns
+        open_dataset_mmap(store)
+        assert meta.stat().st_mtime_ns == stamp
+
+    def test_stale_cache_rebuilt(self, world, store):
+        open_dataset_mmap(store)
+        meta = store / "mmap" / "meta.json"
+        payload = json.loads(meta.read_text(encoding="utf-8"))
+        payload["content_hash"] = "0" * 64
+        meta.write_text(json.dumps(payload), encoding="utf-8")
+        loaded = open_dataset_mmap(store)
+        _assert_bitwise(loaded, world)
+        rebuilt = json.loads(meta.read_text(encoding="utf-8"))
+        assert rebuilt["content_hash"] == load_manifest(store)["content_hash"]
+
+    def test_cache_build_leaves_no_tmp(self, store):
+        open_dataset_mmap(store)
+        assert not list((store / "mmap").glob("*.tmp"))
+
+
+class TestSizeTiers:
+    def test_known_tiers(self):
+        assert set(SIZE_TIERS) == {"small", "paper", "national"}
+        paper = SIZE_TIERS["paper"]
+        assert paper.n_sectors == 10_200
+        assert paper.n_hours == 18 * HOURS_PER_WEEK
+
+    def test_tier_config_resolves(self):
+        config = tier_config("small")
+        assert (config.n_towers, config.n_weeks, config.seed) == (30, 4, 1001)
+
+    def test_unknown_tier_friendly_error(self):
+        with pytest.raises(KeyError, match="known tiers"):
+            tier_config("galactic")
+
+    def test_tier_seeds_are_distinct(self):
+        seeds = [tier.seed for tier in SIZE_TIERS.values()]
+        assert len(set(seeds)) == len(seeds)

@@ -8,6 +8,7 @@ import pytest
 from repro.core.scoring import attach_scores
 from repro.data.dataset import Dataset, SectorGeography
 from repro.data.store import (
+    CorruptStoreError,
     load_dataset,
     load_result_table,
     save_dataset,
@@ -137,3 +138,67 @@ class TestStore:
     def test_result_table_empty(self, tmp_path):
         path = save_result_table([], tmp_path / "empty.jsonl")
         assert load_result_table(path) == []
+
+
+class TestAtomicWrites:
+    """Torn-write regressions: a crash mid-save must never damage the
+    previously committed file, and must not leave temp debris behind."""
+
+    def test_interrupted_save_keeps_old_dataset(
+        self, small_dataset, tmp_path, monkeypatch
+    ):
+        path = save_dataset(small_dataset, tmp_path / "data.npz")
+        before = path.read_bytes()
+
+        import repro.data.store as store_mod
+
+        def exploding_savez(handle, **arrays):
+            handle.write(b"half a zip archive")  # partial bytes, then crash
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(store_mod.np, "savez_compressed", exploding_savez)
+        with pytest.raises(KeyboardInterrupt):
+            save_dataset(small_dataset, path)
+        assert path.read_bytes() == before  # old archive untouched
+        assert not list(tmp_path.glob("*.tmp"))
+        assert load_dataset(path).n_sectors == small_dataset.n_sectors
+
+    def test_interrupted_result_table_keeps_old_rows(self, tmp_path, monkeypatch):
+        rows = [{"model": "RF-R", "lift": 5.5}]
+        path = save_result_table(rows, tmp_path / "results.jsonl")
+
+        import repro.data.store as store_mod
+
+        def exploding_dumps(row, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(store_mod.json, "dumps", exploding_dumps)
+        with pytest.raises(KeyboardInterrupt):
+            save_result_table([{"model": "other"}], path)
+        monkeypatch.undo()
+        assert load_result_table(path) == rows
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCorruptStores:
+    def test_truncated_npz_is_corrupt_not_traceback(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "data.npz")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CorruptStoreError, match="corrupt or truncated"):
+            load_dataset(path)
+
+    def test_garbage_npz_is_corrupt(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CorruptStoreError, match="hotspot-repro generate"):
+            load_dataset(path)
+
+    def test_result_table_missing_file_friendly(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="hotspot-repro sweep"):
+            load_result_table(tmp_path / "absent.jsonl")
+
+    def test_result_table_corrupt_line_reported(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"ok": 1}\n{broken\n', encoding="utf-8")
+        with pytest.raises(CorruptStoreError, match="line 2"):
+            load_result_table(path)

@@ -274,6 +274,104 @@ class TestTelemetryGenerator:
         e2 = gen.latent_events()
         np.testing.assert_array_equal(e1.onset_days, e2.onset_days)
 
+    def test_latent_events_match_generated_dataset(self, monkeypatch):
+        """Regression for the duplicated child-seed derivation bug:
+        latent_events() must return exactly the event intensities that
+        generate() embedded, not an equally-plausible re-roll."""
+        config = GeneratorConfig(n_towers=8, n_weeks=3, seed=13)
+        gen = TelemetryGenerator(config)
+
+        captured = {}
+        original = EventSimulator.simulate
+
+        def capturing(self, tower_ids, n_hours, onset_weights=None):
+            events = original(self, tower_ids, n_hours, onset_weights=onset_weights)
+            captured["events"] = events
+            return events
+
+        monkeypatch.setattr(EventSimulator, "simulate", capturing)
+        gen.generate(with_missing=False)
+        embedded = captured["events"]
+        monkeypatch.undo()
+
+        replayed = gen.latent_events()
+        np.testing.assert_array_equal(replayed.onset_days, embedded.onset_days)
+        np.testing.assert_array_equal(replayed.failure, embedded.failure)
+        np.testing.assert_array_equal(replayed.surge, embedded.surge)
+        np.testing.assert_array_equal(replayed.precursor, embedded.precursor)
+
+
+class TestStreamingGenerator:
+    CONFIG = GeneratorConfig(n_towers=6, n_weeks=4, seed=31)
+
+    def test_chunk_size_invariance(self):
+        gen = TelemetryGenerator(self.CONFIG)
+        by_week = gen.generate_streamed(chunk_weeks=1)
+        by_three = gen.generate_streamed(chunk_weeks=3)
+        np.testing.assert_array_equal(
+            by_week.kpis.values, by_three.kpis.values
+        )
+        np.testing.assert_array_equal(
+            by_week.kpis.missing, by_three.kpis.missing
+        )
+
+    def test_stream_chunks_tile_the_horizon(self):
+        gen = TelemetryGenerator(self.CONFIG)
+        chunks = list(gen.stream(chunk_weeks=3))
+        assert [c.first_hour for c in chunks] == [0, 3 * HOURS_PER_WEEK]
+        assert [c.values.shape[1] for c in chunks] == [
+            3 * HOURS_PER_WEEK, HOURS_PER_WEEK,
+        ]
+
+    def test_streamed_shares_geography_with_batch(self):
+        gen = TelemetryGenerator(self.CONFIG)
+        streamed = gen.generate_streamed()
+        batch = gen.generate()
+        np.testing.assert_array_equal(
+            streamed.geography.positions_km, batch.geography.positions_km
+        )
+        np.testing.assert_array_equal(
+            streamed.geography.land_use, batch.geography.land_use
+        )
+        np.testing.assert_array_equal(streamed.calendar, batch.calendar)
+
+    def test_streamed_deterministic_for_seed(self):
+        d1 = TelemetryGenerator(self.CONFIG).generate_streamed()
+        d2 = TelemetryGenerator(self.CONFIG).generate_streamed()
+        np.testing.assert_array_equal(d1.kpis.missing, d2.kpis.missing)
+        observed = ~d1.kpis.missing
+        np.testing.assert_array_equal(
+            d1.kpis.values[observed], d2.kpis.values[observed]
+        )
+
+    def test_streamed_without_missing(self):
+        data = TelemetryGenerator(self.CONFIG).generate_streamed(
+            with_missing=False
+        )
+        assert not data.kpis.missing.any()
+        assert not np.isnan(data.kpis.values).any()
+        assert np.all(data.kpis.values >= 0)
+
+    def test_streamed_statistically_comparable_to_batch(self):
+        """Streamed worlds are a different realization but must live in
+        the same regime: similar missingness and similar diurnal load."""
+        gen = TelemetryGenerator(self.CONFIG)
+        streamed = gen.generate_streamed()
+        batch = gen.generate()
+        assert streamed.kpis.missing.mean() == pytest.approx(
+            batch.kpis.missing.mean(), abs=0.02
+        )
+        utilization = np.nan_to_num(streamed.kpis.values[:, :, 7])
+        hour = streamed.time_axis.hour_of_day()
+        day_mean = utilization[:, (hour >= 10) & (hour <= 20)].mean()
+        night_mean = utilization[:, (hour >= 2) & (hour <= 5)].mean()
+        assert day_mean > 1.5 * night_mean
+
+    def test_invalid_chunk_weeks_rejected(self):
+        gen = TelemetryGenerator(self.CONFIG)
+        with pytest.raises(ValueError, match="chunk_weeks"):
+            next(gen.stream(chunk_weeks=0))
+
 
 class TestOnsetWeights:
     def test_weights_mean_one(self):
