@@ -1,0 +1,353 @@
+"""Benchmark — the HTTP/SSE gateway over the resilient serving stack.
+
+Drives a KPI replay through ``POST /ticks`` (JSONL over HTTP, bounded
+ingest queue, durable event journal) and measures:
+
+* **HTTP ingest throughput** — ticks/s for day-sized batches and for
+  per-tick requests (request overhead visible in the gap);
+* **SSE delivery** — full-journal replay rate to a fresh subscriber
+  (events/s, one and four concurrent readers) and the live fan-out lag
+  from POST start to the batch's last event arriving at an
+  already-connected subscriber (p50/p99 ms);
+* **/metrics** — the Prometheus exposition parses strictly; its sample
+  count is recorded.
+
+The delivered SSE stream must be **bitwise identical** to an offline
+``submit_tick`` replay of the same engine — throughput is only
+reported after parity is asserted.
+
+Dual-mode:
+
+* standalone — ``python benchmarks/bench_gateway.py [--smoke]`` writes
+  ``BENCH_gateway.json`` at the repo root and a text summary under
+  ``benchmarks/results/``;
+* under pytest — a ``--smoke``-sized run wired into the bench suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _reporting import format_table, peak_rss_mb, report
+
+from repro import (
+    GeneratorConfig,
+    TelemetryGenerator,
+    attach_scores,
+    filter_sectors,
+)
+from repro.core.experiment import SweepRunner
+from repro.gateway import (
+    EventJournal,
+    GatewayConfig,
+    GatewayThread,
+    HotSpotGateway,
+    ResilientBackend,
+    validate_exposition,
+)
+from repro.imputation import ForwardFillImputer
+from repro.resilience import CheckpointManager, ResilientHotSpotService
+from repro.resilience.degrade import ResilientPredictionEngine
+from repro.serve import (
+    HotSpotService,
+    ModelRegistry,
+    ServeConfig,
+    StreamIngestor,
+    train_and_register,
+)
+
+DEFAULT_OUT = Path(__file__).parent.parent / "BENCH_gateway.json"
+
+MODEL = "RF-F1"
+TOP_K = 5
+BATCH_HOURS = 24
+
+FULL = {
+    "n_towers": 40, "n_weeks": 6, "n_estimators": 32,
+    "horizons": (1, 2), "window": 3,
+}
+SMOKE = {
+    "n_towers": 8, "n_weeks": 3, "n_estimators": 8,
+    "horizons": (1, 2), "window": 3,
+}
+
+
+# ------------------------------------------------------------------- world
+def _build_world(params):
+    config = GeneratorConfig(
+        n_towers=params["n_towers"], n_weeks=params["n_weeks"], seed=5
+    )
+    dataset = TelemetryGenerator(config).generate()
+    dataset, __ = filter_sectors(dataset)
+    dataset.kpis = ForwardFillImputer().fit_transform(dataset.kpis)
+    return attach_scores(dataset)
+
+
+def _guarded(dataset, registry_root, start_day, params, checkpoint_dir=None):
+    ingestor = StreamIngestor.for_dataset(dataset, w_max=max(params["window"], 7))
+    engine = ResilientPredictionEngine(
+        ingestor, ModelRegistry(registry_root), target="hot",
+        model=MODEL, window=params["window"],
+    )
+    service = HotSpotService(
+        engine,
+        ServeConfig(horizons=params["horizons"], start_day=start_day, top_k=TOP_K),
+    )
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = CheckpointManager.for_ingestor(
+            checkpoint_dir, ingestor, snapshot_every=100_000
+        )
+    return ResilientHotSpotService(service, checkpoint=checkpoint)
+
+
+# ------------------------------------------------------------------ clients
+def _post(base: str, body: bytes) -> dict:
+    request = urllib.request.Request(base + "/ticks", data=body, method="POST")
+    with urllib.request.urlopen(request, timeout=600) as response:
+        return json.loads(response.read())
+
+
+def _tick_lines(dataset, start: int, stop: int) -> bytes:
+    kpis = dataset.kpis
+    lines = [
+        json.dumps({
+            "op": "tick",
+            "hour": hour,
+            "values": kpis.values[:, hour, :].tolist(),
+            "missing": kpis.missing[:, hour, :].tolist(),
+            "calendar": dataset.calendar[hour].tolist(),
+        })
+        for hour in range(start, stop)
+    ]
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def _sse_stream(host, port, expect, on_frame=None, timeout=600.0):
+    """Read *expect* frames; returns [(id, data)] and calls on_frame(id)."""
+    sock = socket.create_connection((host, port))
+    sock.sendall(b"GET /alerts?last_event_id=-1 HTTP/1.1\r\nHost: b\r\n\r\n")
+    sock.settimeout(timeout)
+    buffer = b""
+    frames = []
+    while len(frames) < expect:
+        chunk = sock.recv(1 << 16)
+        if not chunk:
+            break
+        buffer += chunk
+        while b"\n\n" in buffer:
+            raw, buffer = buffer.split(b"\n\n", 1)
+            text = raw.decode("utf-8")
+            if "id:" not in text or "data:" not in text:
+                continue
+            event_id = data = None
+            for line in text.splitlines():
+                if line.startswith("id:"):
+                    event_id = int(line[3:].strip())
+                elif line.startswith("data:"):
+                    data = line[5:].strip()
+            if event_id is not None and data is not None:
+                frames.append((event_id, data))
+                if on_frame is not None:
+                    on_frame(event_id)
+    sock.close()
+    return frames
+
+
+# -------------------------------------------------------------------- bench
+def run_bench(smoke: bool = False) -> dict:
+    params = SMOKE if smoke else FULL
+    dataset = _build_world(params)
+    end_hour = dataset.kpis.n_hours
+    start_day = dataset.score_daily.shape[1] // 2
+
+    with tempfile.TemporaryDirectory(prefix="bench-gateway-") as tmp:
+        tmp = Path(tmp)
+        registry = ModelRegistry(tmp / "registry")
+        runner = SweepRunner(
+            dataset, target="hot", n_estimators=params["n_estimators"], seed=3
+        )
+        train_and_register(
+            runner, registry, (MODEL,), start_day,
+            params["horizons"], (params["window"],), overwrite=True,
+        )
+
+        # Offline reference replay: the bitwise target for the SSE feed.
+        reference = _guarded(dataset, tmp / "registry", start_day, params)
+        kpis = dataset.kpis
+        offline = [
+            json.dumps(event)
+            for hour in range(end_hour)
+            for event in reference.submit_tick(
+                kpis.values[:, hour, :], kpis.missing[:, hour, :],
+                dataset.calendar[hour], hour=hour,
+            )
+        ]
+
+        gateway = HotSpotGateway(
+            ResilientBackend(
+                _guarded(dataset, tmp / "registry", start_day, params, tmp / "ckpt")
+            ),
+            EventJournal(tmp / "ckpt" / "gateway_events.jsonl"),
+            GatewayConfig(port=0, queue_capacity=max(256, BATCH_HOURS + 1)),
+        )
+        with GatewayThread(gateway):
+            base = f"http://{gateway.host}:{gateway.port}"
+
+            # Live subscriber for the fan-out lag measurement.
+            arrivals: dict[int, float] = {}
+            live_thread = threading.Thread(
+                target=_sse_stream,
+                args=(gateway.host, gateway.port, len(offline)),
+                kwargs={"on_frame": lambda i: arrivals.setdefault(i, time.perf_counter())},
+                daemon=True,
+            )
+            live_thread.start()
+
+            # Batched HTTP ingest, first half of the stream.
+            half = (end_hour // 2 // BATCH_HOURS) * BATCH_HOURS
+            batch_samples = []  # (post_start, last_event_id_of_batch)
+            start = time.perf_counter()
+            for lo in range(0, half, BATCH_HOURS):
+                t_post = time.perf_counter()
+                reply = _post(base, _tick_lines(dataset, lo, lo + BATCH_HOURS))
+                ids = [i for r in reply["results"] for i in r["event_ids"]]
+                if ids:
+                    batch_samples.append((t_post, ids[-1]))
+            batched_secs = time.perf_counter() - start
+            batched_tps = half / batched_secs if batched_secs else None
+
+            # Per-tick HTTP ingest, second half: request overhead leg.
+            start = time.perf_counter()
+            for hour in range(half, end_hour):
+                _post(base, _tick_lines(dataset, hour, hour + 1))
+            per_tick_secs = time.perf_counter() - start
+            per_tick_tps = (end_hour - half) / per_tick_secs if per_tick_secs else None
+
+            live_thread.join(timeout=600)
+            lags_ms = sorted(
+                (arrivals[last_id] - t_post) * 1000.0
+                for t_post, last_id in batch_samples
+                if last_id in arrivals
+            )
+
+            # Full-journal SSE replay throughput, 1 and 4 readers.
+            start = time.perf_counter()
+            frames = _sse_stream(gateway.host, gateway.port, len(offline))
+            replay_secs = time.perf_counter() - start
+            replay_eps = len(offline) / replay_secs if replay_secs else None
+
+            collected: dict[int, list] = {}
+
+            def read(slot):
+                collected[slot] = _sse_stream(gateway.host, gateway.port, len(offline))
+
+            readers = [threading.Thread(target=read, args=(n,)) for n in range(4)]
+            start = time.perf_counter()
+            for thread in readers:
+                thread.start()
+            for thread in readers:
+                thread.join(timeout=600)
+            fanout_secs = time.perf_counter() - start
+            fanout_eps = 4 * len(offline) / fanout_secs if fanout_secs else None
+
+            with urllib.request.urlopen(base + "/metrics", timeout=60) as response:
+                metrics_text = response.read().decode()
+            metrics_samples = validate_exposition(metrics_text)
+
+        parity = [data for _, data in frames] == offline
+        fanout_parity = all(
+            [data for _, data in f] == offline for f in collected.values()
+        )
+
+    def _pct(samples, q):
+        if not samples:
+            return None
+        return round(float(np.percentile(samples, q)), 2)
+
+    return {
+        "bench": "gateway",
+        "mode": "smoke" if smoke else "full",
+        "model": MODEL,
+        "n_sectors": dataset.n_sectors,
+        "stream_hours": end_hour,
+        "event_lines": len(offline),
+        "parity": bool(parity and fanout_parity),
+        "ingest": {
+            "batch_hours": BATCH_HOURS,
+            "batched_ticks_per_second": round(batched_tps, 1),
+            "per_tick_ticks_per_second": round(per_tick_tps, 1),
+        },
+        "sse": {
+            "replay_events_per_second": round(replay_eps, 1),
+            "fanout4_events_per_second": round(fanout_eps, 1),
+            "live_lag_ms_p50": _pct(lags_ms, 50),
+            "live_lag_ms_p99": _pct(lags_ms, 99),
+            "lag_samples": len(lags_ms),
+        },
+        "metrics_samples": metrics_samples,
+        "peak_rss_mb": peak_rss_mb(),
+    }
+
+
+# ------------------------------------------------------------------- report
+def _render(summary: dict) -> str:
+    ingest, sse = summary["ingest"], summary["sse"]
+    rows = [
+        ["POST /ticks (24 h batches)", f"{ingest['batched_ticks_per_second']:,.0f} ticks/s"],
+        ["POST /ticks (per tick)", f"{ingest['per_tick_ticks_per_second']:,.0f} ticks/s"],
+        ["SSE journal replay", f"{sse['replay_events_per_second']:,.0f} events/s"],
+        ["SSE fan-out x4", f"{sse['fanout4_events_per_second']:,.0f} events/s"],
+        ["SSE live lag p50/p99", f"{sse['live_lag_ms_p50']}/{sse['live_lag_ms_p99']} ms"],
+    ]
+    return (
+        f"Gateway over HTTP, {summary['stream_hours']} h stream, "
+        f"{summary['n_sectors']} sectors, {summary['model']}, "
+        f"{summary['event_lines']} events "
+        f"(parity={'yes' if summary['parity'] else 'NO'}, "
+        f"{summary['metrics_samples']} metric samples):\n"
+        + format_table(["leg", "rate"], rows)
+    )
+
+
+def test_gateway_smoke(benchmark):
+    """Bench-suite entry: smoke-sized HTTP/SSE run with parity asserted."""
+    summary = benchmark.pedantic(run_bench, kwargs={"smoke": True}, rounds=1, iterations=1)
+    report("gateway", _render(summary))
+    assert summary["parity"]
+    assert summary["metrics_samples"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short stream, small forest (CI-sized)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"JSON summary path (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    summary = run_bench(smoke=args.smoke)
+    print(_render(summary))
+    args.out.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {args.out}")
+    return 0 if summary["parity"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

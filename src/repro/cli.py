@@ -1,6 +1,6 @@
 """Command-line front end.
 
-Seven subcommands cover the full pipeline::
+Eight subcommands cover the full pipeline::
 
     hotspot-repro generate  --towers 100 --weeks 18 --out data.npz
     hotspot-repro analyze   --data data.npz
@@ -10,6 +10,7 @@ Seven subcommands cover the full pipeline::
     hotspot-repro lifecycle --data data.npz --registry models/
     hotspot-repro fleet     --data data.npz --registry models/ \\
                             --checkpoint-dir fleet/ --shards 4
+    hotspot-repro gateway   --data data.npz --registry models/ --port 8765
 
 ``generate`` writes a synthetic dataset; ``analyze`` prints the Sec. III
 dynamics summaries; ``forecast`` runs a focused comparison of all eight
@@ -24,13 +25,26 @@ all reported in the same JSONL event stream.  ``fleet`` is ``serve``
 sharded over sector partitions — ``--shards N`` engines with their own
 WALs behind one coordinator (``--jobs M`` fans them out over processes),
 emitting a merged stream bitwise identical to the single engine's.
+``gateway`` puts any of those stacks behind an HTTP/SSE surface —
+``POST /ticks`` ingest with backpressure, ``GET /alerts`` SSE with
+``Last-Event-ID`` resume, Prometheus ``/metrics``, and an operator
+``/status`` plane — with the same bitwise replay-parity contract
+(DESIGN.md §3j).
+
+``serve``/``lifecycle``/``fleet``/``gateway`` all drain gracefully on
+SIGINT/SIGTERM: state closes through the normal teardown paths and a
+final ``{"type": "shutdown", ...}`` JSONL line replaces the traceback
+(exit 0).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import signal
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.analysis import dynamics_report
@@ -45,6 +59,13 @@ from repro.data.store import (
 )
 from repro.data.tensor import HOURS_PER_DAY
 from repro.fleet import FleetConfig, SupervisorConfig, build_fleet, recover_fleet
+from repro.gateway import (
+    EventJournal,
+    FleetBackend,
+    GatewayConfig,
+    HotSpotGateway,
+    ResilientBackend,
+)
 from repro.imputation import DAEImputer, DAEImputerConfig, filter_sectors
 from repro.lifecycle import (
     DriftConfig,
@@ -73,6 +94,35 @@ def _info(message: str, quiet: bool, file=None) -> None:
     """Progress/diagnostic line, silenced by --quiet."""
     if not quiet:
         print(message, file=file or sys.stdout)
+
+
+@contextmanager
+def _graceful_shutdown():
+    """Convert SIGTERM into :class:`KeyboardInterrupt` for the drive loops.
+
+    SIGINT already raises it; with SIGTERM folded in, both signals
+    unwind through the command's ``try/finally`` teardown (checkpoint
+    and fleet close) and land in the ``except KeyboardInterrupt`` arm,
+    which emits a final JSONL summary line and exits 0 — consumers of
+    the event stream see a structured shutdown record, never a
+    traceback.
+    """
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _shutdown_line(command: str, **fields) -> None:
+    """Final machine-readable summary after a signal-triggered drain."""
+    print(
+        json.dumps({"type": "shutdown", "command": command, "reason": "signal",
+                    **fields}),
+        flush=True,
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -341,35 +391,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     guarded = ResilientHotSpotService(service, checkpoint=checkpoint)
 
     try:
-        if args.from_stdin:
-            # Stdin ticks take the same guarded path as replay ticks:
-            # validation/quarantine always, journal + snapshots when a
-            # checkpoint directory is configured.
-            processed = guarded.run_jsonl(sys.stdin, sys.stdout)
-            _info(f"processed {processed} operations", args.quiet, sys.stderr)
-            errors = service.telemetry.counter("stream_errors")
-            if errors:
-                _info(
-                    f"{errors} stream errors (see error events)",
-                    args.quiet,
-                    sys.stderr,
-                )
-            return 0
+        with _graceful_shutdown():
+            if args.from_stdin:
+                # Stdin ticks take the same guarded path as replay ticks:
+                # validation/quarantine always, journal + snapshots when a
+                # checkpoint directory is configured.
+                processed = guarded.run_jsonl(sys.stdin, sys.stdout)
+                _info(f"processed {processed} operations", args.quiet, sys.stderr)
+                errors = service.telemetry.counter("stream_errors")
+                if errors:
+                    _info(
+                        f"{errors} stream errors (see error events)",
+                        args.quiet,
+                        sys.stderr,
+                    )
+                return 0
 
-        # Replay mode: drive the resilient service with the dataset's hours.
-        end_day = n_days if args.max_days is None else min(args.max_days, n_days)
-        alerts = _replay_events(
-            guarded, dataset, start_hour, end_day, batch_hours=args.batch_hours
-        )
-        stats = guarded.stats()
-        _info(
-            f"replayed {end_day} days: {alerts} alerts, "
-            f"{stats['counters'].get('cache_hits', 0)} cache hits / "
-            f"{stats['counters'].get('cache_misses', 0)} misses, "
-            f"{stats['counters'].get('ticks_quarantined', 0)} quarantined, "
-            f"{stats['counters'].get('degraded_predictions', 0)} degraded",
-            args.quiet,
-            sys.stderr,
+            # Replay mode: drive the resilient service with the dataset's
+            # hours.
+            end_day = n_days if args.max_days is None else min(args.max_days, n_days)
+            alerts = _replay_events(
+                guarded, dataset, start_hour, end_day, batch_hours=args.batch_hours
+            )
+            stats = guarded.stats()
+            _info(
+                f"replayed {end_day} days: {alerts} alerts, "
+                f"{stats['counters'].get('cache_hits', 0)} cache hits / "
+                f"{stats['counters'].get('cache_misses', 0)} misses, "
+                f"{stats['counters'].get('ticks_quarantined', 0)} quarantined, "
+                f"{stats['counters'].get('degraded_predictions', 0)} degraded",
+                args.quiet,
+                sys.stderr,
+            )
+            return 0
+    except KeyboardInterrupt:
+        _shutdown_line(
+            "serve",
+            clock=guarded.ingestor.hours_seen,
+            quarantined=guarded.telemetry.counter("ticks_quarantined"),
         )
         return 0
     finally:
@@ -489,24 +548,38 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
     guarded = ResilientHotSpotService(service, checkpoint=checkpoint)
 
     try:
-        if args.from_stdin:
-            processed = guarded.run_jsonl(sys.stdin, sys.stdout)
-            _info(f"processed {processed} operations", args.quiet, sys.stderr)
-        else:
-            end_day = n_days if args.max_days is None else min(args.max_days, n_days)
-            alerts = _replay_events(guarded, dataset, start_hour, end_day)
-            _info(f"replayed {end_day} days: {alerts} alerts", args.quiet, sys.stderr)
-        counters = service.telemetry.stats()["counters"]
+        with _graceful_shutdown():
+            if args.from_stdin:
+                processed = guarded.run_jsonl(sys.stdin, sys.stdout)
+                _info(f"processed {processed} operations", args.quiet, sys.stderr)
+            else:
+                end_day = (
+                    n_days if args.max_days is None else min(args.max_days, n_days)
+                )
+                alerts = _replay_events(guarded, dataset, start_hour, end_day)
+                _info(
+                    f"replayed {end_day} days: {alerts} alerts", args.quiet, sys.stderr
+                )
+            counters = service.telemetry.stats()["counters"]
+            lifecycle = controller.stats()
+            _info(
+                f"lifecycle: phase={lifecycle['phase']} "
+                f"champion=v{lifecycle['champion_version'] or 0} "
+                f"{counters.get('events_drift', 0)} drift, "
+                f"{counters.get('events_retrain', 0)} retrains, "
+                f"{counters.get('events_promotion', 0)} promotions, "
+                f"{counters.get('events_rollback', 0)} rollbacks",
+                args.quiet,
+                sys.stderr,
+            )
+            return 0
+    except KeyboardInterrupt:
         lifecycle = controller.stats()
-        _info(
-            f"lifecycle: phase={lifecycle['phase']} "
-            f"champion=v{lifecycle['champion_version'] or 0} "
-            f"{counters.get('events_drift', 0)} drift, "
-            f"{counters.get('events_retrain', 0)} retrains, "
-            f"{counters.get('events_promotion', 0)} promotions, "
-            f"{counters.get('events_rollback', 0)} rollbacks",
-            args.quiet,
-            sys.stderr,
+        _shutdown_line(
+            "lifecycle",
+            clock=guarded.ingestor.hours_seen,
+            phase=lifecycle["phase"],
+            champion_version=lifecycle["champion_version"],
         )
         return 0
     finally:
@@ -618,42 +691,53 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             sys.stderr,
         )
 
-        if args.from_stdin:
-            processed = fleet.run_jsonl(sys.stdin, sys.stdout)
-            _info(f"processed {processed} operations", args.quiet, sys.stderr)
-            errors = fleet.telemetry.counter("stream_errors")
-            if errors:
-                _info(
-                    f"{errors} stream errors (see error events)",
-                    args.quiet,
-                    sys.stderr,
-                )
-            return _fleet_exit_code(fleet, args)
+        with _graceful_shutdown():
+            if args.from_stdin:
+                processed = fleet.run_jsonl(sys.stdin, sys.stdout)
+                _info(f"processed {processed} operations", args.quiet, sys.stderr)
+                errors = fleet.telemetry.counter("stream_errors")
+                if errors:
+                    _info(
+                        f"{errors} stream errors (see error events)",
+                        args.quiet,
+                        sys.stderr,
+                    )
+                return _fleet_exit_code(fleet, args)
 
-        end_day = n_days if args.max_days is None else min(args.max_days, n_days)
-        alerts = _replay_events(
-            fleet, dataset, fleet.clock, end_day, batch_hours=args.batch_hours
-        )
-        stats = fleet.stats()
-        supervisor = stats["fleet"].get("supervisor")
-        supervised = (
-            ""
-            if supervisor is None
-            else (
-                f", {supervisor['worker_restarts']} restarts, "
-                f"{supervisor['poison_blocks']} poison blocks"
+            end_day = n_days if args.max_days is None else min(args.max_days, n_days)
+            alerts = _replay_events(
+                fleet, dataset, fleet.clock, end_day, batch_hours=args.batch_hours
             )
+            stats = fleet.stats()
+            supervisor = stats["fleet"].get("supervisor")
+            supervised = (
+                ""
+                if supervisor is None
+                else (
+                    f", {supervisor['worker_restarts']} restarts, "
+                    f"{supervisor['poison_blocks']} poison blocks"
+                )
+            )
+            _info(
+                f"replayed {end_day} days over {stats['fleet']['n_shards']} shards: "
+                f"{alerts} alerts, "
+                f"{stats['counters'].get('ticks_quarantined', 0)} quarantined, "
+                f"{stats['counters'].get('degraded_predictions', 0)} degraded"
+                f"{supervised}",
+                args.quiet,
+                sys.stderr,
+            )
+            return _fleet_exit_code(fleet, args)
+    except KeyboardInterrupt:
+        # The merged watermark is already durable for every acknowledged
+        # hour, so a signal drain loses nothing: a --resume picks up at
+        # the recovered clock.
+        _shutdown_line(
+            "fleet",
+            clock=fleet.clock if fleet is not None else 0,
+            shards=fleet.plan.n_shards if fleet is not None else 0,
         )
-        _info(
-            f"replayed {end_day} days over {stats['fleet']['n_shards']} shards: "
-            f"{alerts} alerts, "
-            f"{stats['counters'].get('ticks_quarantined', 0)} quarantined, "
-            f"{stats['counters'].get('degraded_predictions', 0)} degraded"
-            f"{supervised}",
-            args.quiet,
-            sys.stderr,
-        )
-        return _fleet_exit_code(fleet, args)
+        return 0
     finally:
         if fleet is not None:
             fleet.close()
@@ -670,6 +754,223 @@ def _fleet_exit_code(fleet, args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _gateway_backend(args: argparse.Namespace, dataset, horizons: tuple):
+    """Build the serving backend the gateway wraps (resilient or fleet).
+
+    Mirrors the `serve`/`fleet` bootstraps exactly: train-once at
+    ``--train-day``, register, then either one guarded engine
+    (optionally with the lifecycle control plane) or a sharded fleet
+    (optionally supervised).
+    """
+    runner = SweepRunner(
+        dataset,
+        target="hot",
+        n_estimators=args.estimators,
+        n_training_days=args.training_days,
+        seed=args.seed,
+    )
+    registry = ModelRegistry(args.registry)
+    train_and_register(
+        runner,
+        registry,
+        [args.model],
+        args.train_day,
+        horizons,
+        (args.window,),
+        overwrite=True,
+        n_jobs=args.jobs,
+    )
+    _info(f"registered model(s) under {registry.root}", args.quiet, sys.stderr)
+
+    if args.shards is not None:
+        config = FleetConfig.for_dataset(
+            dataset,
+            args.registry,
+            model=args.model,
+            window=args.window,
+            horizons=horizons,
+            start_day=args.train_day,
+            top_k=args.top_k,
+            alert_threshold=args.alert_threshold,
+            w_max=max(args.window, 7),
+            snapshot_every=args.snapshot_every,
+        )
+        supervise = None
+        on_event = None
+        if args.supervise:
+            supervise = SupervisorConfig(
+                heartbeat_secs=args.heartbeat_secs,
+                max_restarts=args.max_restarts,
+            )
+
+            def on_event(record: dict) -> None:
+                print(json.dumps(record), file=sys.stderr, flush=True)
+
+        if args.resume:
+            fleet = recover_fleet(
+                args.checkpoint_dir, config, n_shards=args.shards,
+                jobs=args.jobs, supervise=supervise, on_event=on_event,
+            )
+        else:
+            fleet = build_fleet(
+                args.checkpoint_dir, config, args.shards,
+                jobs=args.jobs, supervise=supervise, on_event=on_event,
+            )
+        _info(
+            f"fleet: {fleet.plan.n_shards} shards, backend={fleet.backend.name}, "
+            f"clock={fleet.clock}",
+            args.quiet,
+            sys.stderr,
+        )
+        return FleetBackend(fleet)
+
+    ingestor, _ = _restore_ingestor(args)
+    controller = None
+    if args.lifecycle:
+        drift = DriftConfig()
+        retrain = RetrainConfig(
+            model=args.model,
+            target="hot",
+            horizon=horizons[0],
+            window=args.window,
+            n_estimators=args.estimators,
+            n_training_days=args.training_days,
+            base_seed=args.seed,
+        )
+        w_max = max(args.window, drift.total_days, retrain.lookback_days)
+    else:
+        w_max = max(args.window, 7)
+    if ingestor is None:
+        ingestor = StreamIngestor.for_dataset(dataset, w_max=w_max)
+    engine = ResilientPredictionEngine(
+        ingestor, registry, target="hot", model=args.model, window=args.window
+    )
+    service = HotSpotService(
+        engine,
+        ServeConfig(
+            horizons=horizons,
+            start_day=args.train_day,
+            top_k=args.top_k,
+            alert_threshold=args.alert_threshold,
+        ),
+    )
+    if args.lifecycle:
+        state_path = (
+            Path(args.checkpoint_dir) / "lifecycle.json"
+            if args.checkpoint_dir
+            else None
+        )
+        controller = LifecycleController(
+            engine,
+            drift=drift,
+            retrain=retrain,
+            promotion=PromotionConfig(),
+            state_path=state_path,
+            start_day=args.train_day,
+            n_jobs=args.jobs,
+        )
+        service.add_day_hook(controller.on_day)
+    checkpoint = None
+    if args.checkpoint_dir:
+        checkpoint = CheckpointManager.for_ingestor(
+            args.checkpoint_dir, ingestor, snapshot_every=args.snapshot_every
+        )
+    guarded = ResilientHotSpotService(service, checkpoint=checkpoint)
+    return ResilientBackend(guarded, controller=controller)
+
+
+async def _serve_gateway(gateway: HotSpotGateway) -> int:
+    """Run the gateway until SIGINT/SIGTERM, then drain and summarise."""
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            signal.signal(sig, lambda signum, frame: stop.set())
+    await gateway.start()
+    # The listening line is the machine-readable handshake: drivers
+    # (tests, CI, operators' tooling) parse the bound port and the hour
+    # to resume POSTing from out of it.
+    print(
+        json.dumps({
+            "type": "listening",
+            "host": gateway.host,
+            "port": gateway.port,
+            "backend": gateway.backend.name,
+            "resume_hour": gateway.backend.clock,
+            "endpoints": ["/ticks", "/alerts", "/metrics", "/status", "/healthz"],
+        }),
+        flush=True,
+    )
+    await stop.wait()
+    await gateway.stop()
+    _shutdown_line(
+        "gateway",
+        clock=gateway.backend.clock,
+        ticks_applied=gateway.telemetry.counter("ticks_applied"),
+        events_journaled=gateway.journal.next_id,
+    )
+    return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    horizons = tuple(args.horizons)
+    if min(horizons) < 1 or args.window < 1 or args.top_k < 1:
+        print(
+            "--horizons, --window, and --top-k must all be >= 1",
+            file=sys.stderr,
+        )
+        return 1
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 1
+    if args.shards is not None and args.lifecycle:
+        print(
+            "--lifecycle is single-engine only; drop it or drop --shards",
+            file=sys.stderr,
+        )
+        return 1
+    if args.shards is not None and not args.checkpoint_dir:
+        print("--shards requires --checkpoint-dir", file=sys.stderr)
+        return 1
+    dataset = _prepare(args.data, args.impute_epochs, quiet=args.quiet, file=sys.stderr)
+    n_days = dataset.time_axis.n_days
+    if not 0 < args.train_day < n_days:
+        print(
+            f"--train-day {args.train_day} outside dataset range (0, {n_days})",
+            file=sys.stderr,
+        )
+        return 1
+
+    backend = None
+    try:
+        try:
+            backend = _gateway_backend(args, dataset, horizons)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        journal_path = (
+            Path(args.checkpoint_dir) / "gateway_events.jsonl"
+            if args.checkpoint_dir
+            else None
+        )
+        gateway = HotSpotGateway(
+            backend,
+            EventJournal(journal_path),
+            GatewayConfig(
+                host=args.host,
+                port=args.port,
+                queue_capacity=args.queue_capacity,
+                sse_buffer=args.sse_buffer,
+            ),
+        )
+        return asyncio.run(_serve_gateway(gateway))
+    finally:
+        if backend is not None:
+            backend.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -891,6 +1192,59 @@ def build_parser() -> argparse.ArgumentParser:
                          "live worker gets exponentially longer patience "
                          "windows before being declared hung")
     fl.set_defaults(func=_cmd_fleet)
+
+    gw = sub.add_parser(
+        "gateway",
+        parents=[common],
+        help="serve the engine over HTTP/SSE with metrics and a status plane",
+    )
+    gw.add_argument("--registry", required=True, help="model registry directory")
+    gw.add_argument("--model", choices=ALL_MODEL_NAMES, default="RF-F1")
+    gw.add_argument("--train-day", type=int, default=60,
+                    help="day the served model is trained at")
+    gw.add_argument("--window", type=int, default=7)
+    gw.add_argument("--horizons", type=int, nargs="+", default=[1])
+    gw.add_argument("--estimators", type=int, default=10)
+    gw.add_argument("--training-days", type=int, default=6)
+    gw.add_argument("--top-k", type=int, default=5,
+                    help="sectors alerted per refresh")
+    gw.add_argument("--alert-threshold", type=float, default=None,
+                    help="minimum forecast score to alert (default: top-k only)")
+    gw.add_argument("--host", default="127.0.0.1")
+    gw.add_argument("--port", type=int, default=8765,
+                    help="TCP port (0 = ephemeral; the bound port is in the "
+                    "'listening' line)")
+    gw.add_argument("--queue-capacity", type=int, default=256,
+                    help="bounded ingest queue: a POST whose batch does not "
+                    "fit is rejected with 429 + Retry-After")
+    gw.add_argument("--sse-buffer", type=int, default=256,
+                    help="pending events buffered per SSE subscriber before "
+                    "oldest-first drop (recoverable via Last-Event-ID)")
+    gw.add_argument("--checkpoint-dir", default=None,
+                    help="durable state directory: engine WAL + snapshots, "
+                    "gateway event journal (enables crash recovery)")
+    gw.add_argument("--snapshot-every", type=int, default=168,
+                    help="hours between state snapshots (default: one week)")
+    gw.add_argument("--resume", action="store_true",
+                    help="recover engine + event journal from --checkpoint-dir; "
+                    "clients re-POST from /status's resume_hour")
+    gw.add_argument("--shards", type=int, default=None,
+                    help="run a sharded fleet backend with this many shards "
+                    "(requires --checkpoint-dir)")
+    gw.add_argument("--supervise", action="store_true",
+                    help="supervised fleet workers (heartbeats, live restart, "
+                    "degraded-shard fallback); needs --shards")
+    gw.add_argument("--max-restarts", type=int, default=3,
+                    help="consecutive worker restarts per shard before "
+                    "degraded serving (with --supervise)")
+    gw.add_argument("--heartbeat-secs", type=float, default=5.0,
+                    help="base reply deadline per shard request "
+                    "(with --supervise)")
+    gw.add_argument("--lifecycle", action="store_true",
+                    help="attach the model-lifecycle control plane (drift "
+                    "detection, retrain, promotion) to the single-engine "
+                    "backend; its state shows up in /status and /metrics")
+    gw.set_defaults(func=_cmd_gateway)
     return parser
 
 

@@ -470,6 +470,16 @@ class FleetCoordinator:
         #: ``("mid_merge", hour)`` → raise :class:`SimulatedKill` after
         #: the shards applied the hour but before the merge/acknowledge.
         self.kill_at: tuple | None = None
+        #: Optional per-hour event tap: ``tap(hour, events)`` fires with
+        #: each hour's merged (gap-prefixed) event list after the shards
+        #: applied and journaled it but **before** the fleet watermark
+        #: advances.  A crash between shard journaling and the tap
+        #: leaves the watermark behind, so resume re-drives the hour
+        #: and the shards re-emit their persisted responses — the tap
+        #: sees an identical list and must be idempotent per hour.  The
+        #: gateway points this at its durable event journal for SSE
+        #: delivery (DESIGN.md 3j).
+        self.event_tap = None
 
     # -------------------------------------------------------------- ticks
     @property
@@ -522,10 +532,13 @@ class FleetCoordinator:
             gap_values = np.full((self.config.n_sectors, self.config.n_kpis), np.nan)
             gap_missing = np.ones_like(gap_values, dtype=bool)
             self.telemetry.inc("ticks_gap_filled")
-            events.append(self.telemetry.event("gap_fill", hour=hour_now))
             events.extend(
                 self._drive_hour(
-                    hour_now, gap_values, gap_missing, self._default_calendar(hour_now)
+                    hour_now,
+                    gap_values,
+                    gap_missing,
+                    self._default_calendar(hour_now),
+                    prefix=[self.telemetry.event("gap_fill", hour=hour_now)],
                 )
             )
         events.extend(
@@ -632,16 +645,19 @@ class FleetCoordinator:
                 )
             self.clock = hour0 + (stop - start)
             for j in range(stop - start):
-                events.extend(
-                    self._merge(hour0 + j, [shard[j] for shard in responses])
-                )
+                hour_events = self._merge(hour0 + j, [shard[j] for shard in responses])
+                if self.event_tap is not None:
+                    self.event_tap(hour0 + j, hour_events)
+                events.extend(hour_events)
             start = stop
         write_json_atomic(
             self.directory / WATERMARK_NAME, {"emitted_hours": self.clock}
         )
         return events
 
-    def _drive_hour(self, hour, values, missing, calendar_row) -> list[dict]:
+    def _drive_hour(
+        self, hour, values, missing, calendar_row, prefix: list[dict] | None = None
+    ) -> list[dict]:
         """Broadcast one accepted hour to the shards and merge fragments."""
         responses = self.backend.submit_hour(hour, values, missing, calendar_row)
         if self.kill_at == ("mid_merge", hour):
@@ -650,7 +666,10 @@ class FleetCoordinator:
                 f"simulated crash: coordinator at mid_merge of hour {hour}"
             )
         self.clock = hour + 1
-        return self._merge(hour, responses)
+        events = (prefix or []) + self._merge(hour, responses)
+        if self.event_tap is not None:
+            self.event_tap(hour, events)
+        return events
 
     def _merge(self, hour: int, responses: list[dict]) -> list[dict]:
         events: list[dict] = []

@@ -440,3 +440,33 @@ class LifecycleController:
             "drift_checks": self.monitor.checks_run,
             "challenger_fits": self.scheduler.fits,
         }
+
+    def status(self) -> dict:
+        """Operator-facing snapshot for the gateway's ``/status`` plane.
+
+        Extends :meth:`stats` with the champion's registry provenance
+        sidecar and the live shadow Δ summary, so an operator can see
+        *which* model is serving (version, trigger, seed, parent) and
+        how the current challenger is tracking without reading registry
+        files off disk.
+        """
+        state = self.state
+        registry = self.engine.registry
+        champion_key = self.model_key(state.champion_version)
+        snapshot = self.stats()
+        snapshot["champion"] = {
+            "version": state.champion_version,
+            "key": str(champion_key),
+            "provenance": registry.provenance(champion_key),
+        }
+        shadow: dict = {
+            "phase": state.phase,
+            "challenger_version": state.challenger_version,
+            "shadow_days": len(state.shadow_rows),
+            "confirm_days": len(state.confirm_rows),
+        }
+        if state.shadow_rows:
+            shadow["defined_days"] = self.policy.defined_days(state.shadow_rows)
+            shadow["mean_delta"] = self.policy.mean_delta(state.shadow_rows)
+        snapshot["shadow"] = shadow
+        return snapshot

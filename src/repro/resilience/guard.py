@@ -92,6 +92,16 @@ class ResilientHotSpotService:
         self.dead_letters = dead_letters or DeadLetterQueue()
         self.dark = dark_tracker or DarkSectorTracker(ingestor.n_sectors)
         self.checkpoint = checkpoint
+        #: Optional per-hour event tap: ``tap(hour, events)`` is called
+        #: with the hour's *final* (dark-masked, gap-prefixed) event
+        #: list after the tick is applied but **before** the WAL append.
+        #: The gateway points this at its durable event journal: any
+        #: hour the WAL acknowledges therefore already has its events
+        #: persisted for SSE delivery, so a crash between journal and
+        #: delivery re-emits instead of losing them.  The tap must be
+        #: idempotent per hour — a crash before the WAL append makes
+        #: the re-sent tick recompute the identical event list.
+        self.event_tap = None
 
     @property
     def telemetry(self) -> ServeTelemetry:
@@ -296,12 +306,19 @@ class ResilientHotSpotService:
         missing = np.ones_like(values, dtype=bool)
         calendar = ingestor._default_calendar_row(hour)
         self.telemetry.inc("ticks_gap_filled")
-        events = [self.telemetry.event("gap_fill", hour=hour)]
-        events.extend(self._ingest(values, missing, calendar))
-        return events
+        return self._ingest(
+            values,
+            missing,
+            calendar,
+            prefix=[self.telemetry.event("gap_fill", hour=hour)],
+        )
 
     def _ingest(
-        self, values: np.ndarray, missing: np.ndarray, calendar_row
+        self,
+        values: np.ndarray,
+        missing: np.ndarray,
+        calendar_row,
+        prefix: list[dict] | None = None,
     ) -> list[dict]:
         ingestor = self.ingestor
         hour = ingestor.hours_seen
@@ -311,14 +328,6 @@ class ResilientHotSpotService:
             else calendar_row
         )
         events = self.service.ingest_hour(values, missing, calendar_row)
-        # Apply → journal → acknowledge.  The WAL append sits between
-        # the (potentially slow) ingest/forecast step and the return of
-        # the tick's events: a crash mid-apply leaves the hour out of
-        # the journal, so recovery re-processes it and its events are
-        # re-emitted rather than silently lost — journaling *before*
-        # apply would acknowledge hours whose alerts nobody ever saw.
-        if self.checkpoint is not None:
-            self.checkpoint.record_tick(hour, values, missing, journal_calendar)
         newly_dark = self.dark.observe(missing)
         dark_events = [
             self.telemetry.event(
@@ -327,7 +336,21 @@ class ResilientHotSpotService:
             )
             for sector in newly_dark
         ]
-        return dark_events + self._mask_dark_alerts(events)
+        released = (prefix or []) + dark_events + self._mask_dark_alerts(events)
+        # Apply → (tap) → journal → acknowledge.  The WAL append sits
+        # between the (potentially slow) ingest/forecast step and the
+        # return of the tick's events: a crash mid-apply leaves the hour
+        # out of the journal, so recovery re-processes it and its events
+        # are re-emitted rather than silently lost — journaling *before*
+        # apply would acknowledge hours whose alerts nobody ever saw.
+        # The event tap fires with the final released list just before
+        # the WAL append, so any journaled hour has its events durably
+        # captured first (see :attr:`event_tap`).
+        if self.event_tap is not None:
+            self.event_tap(hour, released)
+        if self.checkpoint is not None:
+            self.checkpoint.record_tick(hour, values, missing, journal_calendar)
+        return released
 
     def _ring_payload(self, hour: int) -> tuple[np.ndarray, np.ndarray] | None:
         """Ring contents for *hour*, for duplicate reconciliation."""

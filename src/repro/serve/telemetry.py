@@ -11,6 +11,12 @@ Everything is exposed through :meth:`ServeTelemetry.stats`, a plain
 nested-dict snapshot that later observability layers (JSON endpoints,
 log shippers) can serialise directly.
 
+The gateway (PR 10) adds **gauges** — point-in-time readings such as
+DLQ depth or ingest-queue length that can move in both directions and
+are never pooled by summing — and exposes counters, gauges, and the
+raw histogram buckets through the Prometheus text renderer in
+:mod:`repro.gateway.metrics`.
+
 The resilience layer (PR 3) adds a third primitive: a bounded
 **structured event log**.  Quarantines, gap fills, degradations, and
 recoveries are recorded as plain dicts (``{"event": kind, ...}``) in a
@@ -47,17 +53,51 @@ class LatencyHistogram:
     monitoring without storing samples.
     """
 
-    def __init__(self, lo: float = 1e-6, hi: float = 30.0, n_buckets: int = 64) -> None:
-        if not 0 < lo < hi:
-            raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
-        if n_buckets < 2:
-            raise ValueError(f"n_buckets must be >= 2, got {n_buckets}")
+    def __init__(
+        self,
+        lo: float = 1e-6,
+        hi: float = 30.0,
+        n_buckets: int = 64,
+        bounds: "np.ndarray | None" = None,
+    ) -> None:
+        if bounds is not None:
+            bounds = np.asarray(bounds, dtype=np.float64)
+        else:
+            if not 0 < lo < hi:
+                raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+            if n_buckets < 2:
+                raise ValueError(f"n_buckets must be >= 2, got {n_buckets}")
+            bounds = np.geomspace(lo, hi, n_buckets)
+        # Monotonicity is validated at construction, not assumed: a
+        # non-increasing edge would silently break searchsorted bucketing
+        # (and the Prometheus `le` exposition, which requires strictly
+        # increasing upper bounds).
+        if bounds.ndim != 1 or bounds.size < 2:
+            raise ValueError(f"bounds must be a 1-D array of >= 2 edges, got {bounds.shape}")
+        if not np.all(bounds > 0) or not np.all(np.isfinite(bounds)):
+            raise ValueError("bucket bounds must be positive and finite")
+        if not np.all(np.diff(bounds) > 0):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {bounds}")
         #: Upper bound of each bucket; the final slot catches overflow.
-        self._bounds = np.geomspace(lo, hi, n_buckets)
-        self._counts = np.zeros(n_buckets + 1, dtype=np.int64)
+        self._bounds = bounds
+        self._counts = np.zeros(bounds.size + 1, dtype=np.int64)
         self.count = 0
         self.total = 0.0
         self.max = 0.0
+
+    @property
+    def bucket_bounds(self) -> np.ndarray:
+        """Read-only view of the bucket upper bounds (seconds)."""
+        view = self._bounds.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def bucket_counts(self) -> np.ndarray:
+        """Read-only view of the per-bucket counts (last slot = overflow)."""
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
 
     def record(self, seconds: float) -> None:
         """Add one duration observation."""
@@ -131,6 +171,7 @@ class ServeTelemetry:
         if max_events < 1:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
         self._events: deque[dict] = deque(maxlen=max_events)
         self.events_seen = 0
@@ -159,6 +200,27 @@ class ServeTelemetry:
             if name.startswith(prefix)
         }
 
+    # -------------------------------------------------------------- gauges
+    def set_gauge(self, name: str, value: float) -> float:
+        """Set gauge *name* to a point-in-time *value*; returns it.
+
+        Gauges are instantaneous readings (queue depth, dark-sector
+        count, champion version) — unlike counters they can go down,
+        and merging them must not sum the same underlying instrument
+        twice.
+        """
+        value = float(value)
+        self._gauges[name] = value
+        return value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Current value of gauge *name* (*default* if never set)."""
+        return self._gauges.get(name, default)
+
+    def gauges(self) -> dict[str, float]:
+        """Name-sorted snapshot of every gauge."""
+        return dict(sorted(self._gauges.items()))
+
     # ------------------------------------------------------------ latencies
     def histogram(self, name: str) -> LatencyHistogram:
         """The histogram registered under *name* (created on first use)."""
@@ -169,6 +231,10 @@ class ServeTelemetry:
     def observe(self, name: str, seconds: float) -> None:
         """Record one duration into histogram *name*."""
         self.histogram(name).record(seconds)
+
+    def histograms(self) -> dict[str, LatencyHistogram]:
+        """Snapshot of the registered histograms by name (shared refs)."""
+        return dict(self._histograms)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -219,6 +285,14 @@ class ServeTelemetry:
         for source in sources:
             for name, value in source._counters.items():
                 merged._counters[name] = merged._counters.get(name, 0) + value
+            # Gauges are point-in-time instrument readings, not flows:
+            # summing a gauge that several sources observed (a shared
+            # clock, a champion version) would double-count it.  The
+            # first operand holding a gauge wins — per-source values
+            # that *should* add across disjoint shards belong in the
+            # per-shard stats tables, not in the pooled gauge set.
+            for name, value in source._gauges.items():
+                merged._gauges.setdefault(name, value)
             for name, histogram in source._histograms.items():
                 merged.histogram(name).merge_from(histogram)
             merged._events.extend(source._events)
@@ -230,6 +304,7 @@ class ServeTelemetry:
         """Plain-dict snapshot of every counter and histogram summary."""
         return {
             "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
             "latency": {
                 name: histogram.summary()
                 for name, histogram in self._histograms.items()

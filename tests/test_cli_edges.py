@@ -16,7 +16,7 @@ class TestParser:
         sub = actions["command"]
         assert set(sub.choices) == {
             "generate", "analyze", "forecast", "sweep", "serve", "lifecycle",
-            "fleet",
+            "fleet", "gateway",
         }
 
     def test_missing_required_out_errors(self):

@@ -1,0 +1,123 @@
+"""Satellite: a stalled SSE consumer must not block ingest or grow
+memory without bound — its buffer drops oldest-first, and the dropped
+span is recoverable bitwise by reconnecting with Last-Event-ID."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.gateway import (
+    EventJournal,
+    GatewayConfig,
+    GatewayThread,
+    HotSpotGateway,
+    ResilientBackend,
+    SseHub,
+)
+
+from tests._gateway_env import (
+    END_HOUR,
+    build_env,
+    build_guarded,
+    http,
+    offline_stream,
+    post_ticks,
+    sse_collect,
+)
+
+
+@pytest.fixture(scope="module")
+def env(tmp_path_factory):
+    return build_env(tmp_path_factory.mktemp("gateway-backpressure"))
+
+
+class TestSubscriberBuffer:
+    def test_offer_drops_oldest_first(self):
+        hub = SseHub(telemetry=None, buffer=3)
+        subscriber = hub.subscribe()
+        hub.publish([(i, {"n": i}) for i in range(5)])
+        assert [i for i, _ in subscriber.pending] == [2, 3, 4]
+        assert subscriber.dropped == 2
+        hub.unsubscribe(subscriber)
+        assert hub.dropped_events == 2
+
+    def test_buffer_validation(self):
+        with pytest.raises(ValueError, match="buffer"):
+            SseHub(telemetry=None, buffer=0).subscribe()
+
+
+class TestStalledConsumer:
+    def test_never_reading_subscriber_does_not_block_ingest(self, env, tmp_path):
+        """One consumer connects and never reads; another's writer is
+        parked (its pending deque fills, unread).  Every POST still
+        returns 200 (ingest unaffected), the parked consumer's buffer
+        drops a bounded oldest-first span, and a fresh reader recovers
+        the complete stream bitwise from the journal."""
+        offline = offline_stream(env, END_HOUR)
+        gateway = HotSpotGateway(
+            ResilientBackend(build_guarded(env)),
+            EventJournal(tmp_path / "events.jsonl"),
+            GatewayConfig(port=0, sse_buffer=4),
+        )
+        with GatewayThread(gateway):
+            base = f"http://{gateway.host}:{gateway.port}"
+            # A raw socket that sends the request and never reads: its
+            # frames pile up in kernel buffers, then in its deque.
+            stalled = socket.create_connection((gateway.host, gateway.port))
+            stalled.sendall(b"GET /alerts?last_event_id=-1 HTTP/1.1\r\nHost: t\r\n\r\n")
+            # A subscriber whose writer never drains at all — the state
+            # a consumer stuck in drain() leaves behind.  Registered
+            # before any publish, so the hub set is stable under the
+            # loop thread's iteration.
+            parked = gateway.hub.subscribe()
+            # Drive the full stream; post_ticks asserts every batch
+            # acknowledged with 200.
+            post_ticks(base, env.dataset, 0, END_HOUR)
+
+            _, _, body = http(base + "/status")
+            status = json.loads(body)
+            assert status["clock"] == END_HOUR
+            assert status["sse"]["subscribers"] == 2
+            # The parked consumer overflowed its bounded buffer: memory
+            # stays capped at `sse_buffer` pending events...
+            assert len(parked.pending) == 4
+            assert parked.dropped == len(offline) - 4
+            assert gateway.hub.dropped_events >= parked.dropped
+
+            # ...while a fresh reader still gets everything, bitwise,
+            # because the dropped span lives in the journal.
+            frames = sse_collect(gateway.host, gateway.port, -1, expect=len(offline))
+            assert [data for _, data in frames] == offline
+            gateway.hub.unsubscribe(parked)
+            stalled.close()
+
+    def test_parallel_fast_readers_all_get_the_full_stream(self, env, tmp_path):
+        offline = offline_stream(env, 240)
+        gateway = HotSpotGateway(
+            ResilientBackend(build_guarded(env)),
+            EventJournal(None),
+            GatewayConfig(port=0),
+        )
+        with GatewayThread(gateway):
+            base = f"http://{gateway.host}:{gateway.port}"
+            post_ticks(base, env.dataset, 0, 120)
+            collected: dict[int, list] = {}
+
+            def read(slot: int) -> None:
+                collected[slot] = sse_collect(
+                    gateway.host, gateway.port, -1, expect=len(offline)
+                )
+
+            readers = [threading.Thread(target=read, args=(n,)) for n in range(3)]
+            for reader in readers:
+                reader.start()
+            post_ticks(base, env.dataset, 120, 240)
+            for reader in readers:
+                reader.join(timeout=120)
+                assert not reader.is_alive()
+        for frames in collected.values():
+            assert [data for _, data in frames] == offline

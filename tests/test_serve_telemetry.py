@@ -64,6 +64,33 @@ class TestLatencyHistogram:
         with pytest.raises(ValueError, match="q must be"):
             histogram.quantile(1.5)
 
+    def test_explicit_bounds(self):
+        histogram = LatencyHistogram(bounds=[0.01, 0.1, 1.0])
+        histogram.record(0.05)
+        histogram.record(5.0)  # above the last edge -> overflow slot
+        assert list(histogram.bucket_bounds) == [0.01, 0.1, 1.0]
+        assert histogram.bucket_counts.sum() == 2
+        assert histogram.bucket_counts[-1] == 1
+
+    def test_bound_views_are_read_only(self):
+        histogram = LatencyHistogram(bounds=[0.01, 0.1])
+        with pytest.raises(ValueError):
+            histogram.bucket_bounds[0] = 9.0
+        with pytest.raises(ValueError):
+            histogram.bucket_counts[0] = 9
+
+    def test_explicit_bounds_validation(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            LatencyHistogram(bounds=[0.1, 0.1, 1.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            LatencyHistogram(bounds=[1.0, 0.1])
+        with pytest.raises(ValueError, match="positive and finite"):
+            LatencyHistogram(bounds=[-1.0, 1.0])
+        with pytest.raises(ValueError, match="positive and finite"):
+            LatencyHistogram(bounds=[0.1, float("inf")])
+        with pytest.raises(ValueError, match=">= 2 edges"):
+            LatencyHistogram(bounds=[0.5])
+
 
 class TestServeTelemetry:
     def test_counters(self):
@@ -99,6 +126,25 @@ class TestServeTelemetry:
     def test_histograms_created_lazily_once(self):
         telemetry = ServeTelemetry()
         assert telemetry.histogram("a") is telemetry.histogram("a")
+
+    def test_histograms_snapshot_shares_refs(self):
+        telemetry = ServeTelemetry()
+        telemetry.observe("lat", 0.1)
+        snapshot = telemetry.histograms()
+        assert snapshot["lat"] is telemetry.histogram("lat")
+        # The mapping itself is a copy: mutating it can't unregister.
+        snapshot.clear()
+        assert telemetry.histogram("lat").count == 1
+
+    def test_gauges(self):
+        telemetry = ServeTelemetry()
+        assert telemetry.gauge("depth") == 0.0
+        assert telemetry.gauge("depth", default=-1.0) == -1.0
+        telemetry.set_gauge("depth", 7)
+        telemetry.set_gauge("depth", 3)  # gauges go down, too
+        assert telemetry.gauge("depth") == 3.0
+        assert telemetry.gauges() == {"depth": 3.0}
+        assert telemetry.stats()["gauges"] == {"depth": 3.0}
 
 
 class TestMerge:
@@ -151,6 +197,17 @@ class TestMerge:
         c = self._loaded({}, [("ingest", 1.5)], [])
         assert a.merge([b, c]).stats() == c.merge([a, b]).stats()
         assert a.merge([b]).stats() == b.merge([a]).stats()
+
+    def test_merge_gauges_first_operand_wins(self):
+        # Gauges are instantaneous readings of one instrument: summing
+        # the same queue depth from two snapshots would double-count.
+        a, b = ServeTelemetry(), ServeTelemetry()
+        a.set_gauge("depth", 5)
+        b.set_gauge("depth", 9)
+        b.set_gauge("dark", 2)
+        merged = a.merge([b])
+        assert merged.gauge("depth") == 5.0  # a's reading, not 14
+        assert merged.gauge("dark") == 2.0  # but b's exclusive gauges carry
 
     def test_merge_leaves_operands_untouched(self):
         a = self._loaded({"ticks": 1}, [("lat", 0.1)], [])
